@@ -1,0 +1,385 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, prints paper-reported values next to measured ones,
+   runs the ablation studies listed in DESIGN.md §6, and (with --timings)
+   times the computational kernels with bechamel.
+
+   Flags:
+     --quick         smaller defect counts (fast smoke run)
+     --timings       include bechamel micro-benchmarks
+     --no-ablations  skip the ablation sweeps                           *)
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let timings = Array.exists (( = ) "--timings") Sys.argv
+let no_ablations = Array.exists (( = ) "--no-ablations") Sys.argv
+
+let config =
+  if quick then
+    { Core.Pipeline.default_config with defects = 5_000; good_space_dies = 16 }
+  else Core.Pipeline.default_config
+
+let banner title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let note fmt = Format.printf fmt
+
+let print_table t = Format.printf "%s@." (Util.Table.render t)
+
+let seconds f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  result, Unix.gettimeofday () -. t0
+
+(* ------------------------------------------------------------------ *)
+(* T1-T3, F3: the comparator macro                                      *)
+(* ------------------------------------------------------------------ *)
+
+let comparator_experiments () =
+  banner "Experiment T1/T2/T3/F3: comparator test path";
+  (* Table 1 magnitudes: the paper first sprinkled 25 000 defects for the
+     class list and later 10 000 000 for statistically significant
+     magnitudes; we scale the same way (more spots, same classes). *)
+  let t1_config =
+    if quick then config else { config with Core.Pipeline.defects = 200_000 }
+  in
+  let analysis, dt =
+    seconds (fun () ->
+        Core.Pipeline.analyze t1_config
+          (Adc.Comparator.macro Adc.Comparator.default_options))
+  in
+  note "(%d defects sprinkled, %d effective, %.1f s)@."
+    analysis.Core.Pipeline.sprinkled analysis.Core.Pipeline.effective dt;
+  note
+    "@.Table 1 — paper: shorts >95%% of faults; opens a tiny fault share but a visible class share@.";
+  print_table (Core.Report.table1 analysis);
+  note "@.Table 2 — paper: stuck-at dominates; clock-value grows for non-catastrophic@.";
+  print_table (Core.Report.table2 analysis);
+  note "@.Table 3 — paper: IDDQ detects 24.2%%/25.6%%; currents overlap@.";
+  print_table (Core.Report.table3 analysis);
+  note "@.Fig. 3 — paper: missing-code 66.2%%, 26.6%% current-only, 10.0%% IDDQ-only@.";
+  print_table (Core.Report.figure3 analysis)
+
+(* ------------------------------------------------------------------ *)
+(* F4, F5, X1, X2: global and DfT                                       *)
+(* ------------------------------------------------------------------ *)
+
+let global_experiments () =
+  banner "Experiment F4/F5/X1/X2: global coverage and DfT";
+  let run macros =
+    Core.Global.combine (List.map (Core.Pipeline.analyze config) macros)
+  in
+  let original, dt_original =
+    seconds (fun () -> run (Dft.Measures.original ()))
+  in
+  note "(original macro set analysed in %.1f s)@." dt_original;
+  note "@.Fig. 4 — paper: coverage 93.3%% cat / 93.1%% non-cat; 32.5%% current-only@.";
+  print_table (Core.Report.figure4 original);
+  note "@.X1 per-macro current detectability — paper: clock generator 93.8%%, ladder 99.8%%@.";
+  print_table (Core.Report.macro_current original);
+  let improved, dt_improved =
+    seconds (fun () -> run (Dft.Measures.improved ()))
+  in
+  note "@.(DfT macro set analysed in %.1f s)@." dt_improved;
+  note "@.Fig. 5 — paper: coverage rises to 99.1%%; voltage-only shrinks to 5.8%%@.";
+  print_table (Core.Report.figure4 improved);
+  note "@.X2 headline scalars — paper: 10.0%%/11.0%% IDDQ-only; millisecond-scale test time@.";
+  print_table (Core.Report.summary original);
+  let cat = Core.Global.partition original Fault.Types.Catastrophic in
+  let ncat = Core.Global.partition original Fault.Types.Non_catastrophic in
+  note
+    "IDDQ-only: catastrophic %.1f%%, non-catastrophic %.1f%% (paper: 10.0%%/11.0%%)@."
+    (100. *. Testgen.Overlap.only_detected_by cat ~mechanism:"IDDQ")
+    (100. *. Testgen.Overlap.only_detected_by ncat ~mechanism:"IDDQ")
+
+(* ------------------------------------------------------------------ *)
+(* X3: quality impact, X4: the amplifier baseline study                 *)
+(* ------------------------------------------------------------------ *)
+
+let quality_experiment () =
+  banner "Experiment X3: outgoing quality (Williams-Brown)";
+  note
+    "The paper's motivation: escapes ship as field failures. Translating@.\
+     the measured coverages into defect levels at an 80%% process yield:@.";
+  let t =
+    Util.Table.create
+      ~columns:
+        [
+          "test strategy", Util.Table.Left;
+          "coverage", Util.Table.Right;
+          "defective parts per million", Util.Table.Right;
+        ]
+  in
+  let row label coverage =
+    Util.Table.add_row t
+      [
+        label;
+        Util.Table.cell_pct (100. *. coverage);
+        Printf.sprintf "%.0f" (Testgen.Quality.dpm ~yield:0.80 ~coverage);
+      ]
+  in
+  row "no test" 0.0;
+  row "simple tests (paper: 93.3%)" 0.933;
+  row "simple tests + DfT (paper: 99.1%)" 0.991;
+  print_table t;
+  note "coverage needed for 100 DPM at this yield: %.2f%%@."
+    (100. *. Testgen.Quality.required_coverage ~yield:0.80 ~target_dpm:100.0)
+
+let amplifier_experiment () =
+  banner "Experiment X4: the Class-AB amplifier baseline (paper ref. [6])";
+  note
+    "Sachdev's silicon experiment: most process defects in a Class AB@.\
+     amplifier are detectable by simple DC, transient and AC measurements.@.";
+  let amp_config = if quick then { config with Core.Pipeline.defects = 5_000 } else config in
+  let result, dt = seconds (fun () -> Amplifier.Study.run ~config:amp_config ()) in
+  note "(%d classes analysed in %.1f s)@."
+    (List.length result.Amplifier.Study.reports)
+    dt;
+  print_table (Amplifier.Study.report_table result)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md §6)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_sigma () =
+  banner "Ablation A1: acceptance-window width (sigma)";
+  note "Wider windows trade escapes for yield loss; the paper uses 3 sigma.@.";
+  let t =
+    Util.Table.create
+      ~columns:
+        [
+          "sigma", Util.Table.Right;
+          "comparator coverage (cat)", Util.Table.Right;
+          "current-only share", Util.Table.Right;
+        ]
+  in
+  let sweep sigma =
+    let cfg = { config with Core.Pipeline.sigma } in
+    let a =
+      Core.Pipeline.analyze cfg
+        (Adc.Comparator.macro Adc.Comparator.default_options)
+    in
+    let venn =
+      Testgen.Overlap.venn_of_partition
+        (Testgen.Overlap.partition a.Core.Pipeline.outcomes_catastrophic)
+    in
+    Util.Table.add_row t
+      [
+        Printf.sprintf "%.0f" sigma;
+        Util.Table.cell_pct (100. *. Testgen.Overlap.coverage venn);
+        Util.Table.cell_pct (100. *. venn.Testgen.Overlap.current_only);
+      ]
+  in
+  List.iter sweep [ 2.0; 3.0; 6.0 ];
+  print_table t
+
+let ablation_samples () =
+  banner "Ablation A2: missing-code ramp length";
+  note "Catching a 1.2 LSB offset and an erratic comparator vs sample count.@.";
+  let t =
+    Util.Table.create
+      ~columns:
+        [
+          "samples", Util.Table.Right;
+          "offset fault caught", Util.Table.Right;
+          "erratic trips test", Util.Table.Right;
+          "test time (us)", Util.Table.Right;
+        ]
+  in
+  let prng = Util.Prng.create 11 in
+  let sweep samples =
+    let offset_adc =
+      Adc.Flash_adc.with_comparator Adc.Flash_adc.ideal 100
+        (Adc.Flash_adc.Functional (1.2 *. Adc.Params.lsb))
+    in
+    let erratic_adc =
+      Adc.Flash_adc.with_comparator Adc.Flash_adc.ideal 100
+        Adc.Flash_adc.Erratic
+    in
+    let caught = Adc.Flash_adc.missing_codes offset_adc prng ~samples <> [] in
+    let erratic_trips =
+      Adc.Flash_adc.missing_codes erratic_adc prng ~samples <> []
+    in
+    Util.Table.add_row t
+      [
+        string_of_int samples;
+        (if caught then "yes" else "NO");
+        (if erratic_trips then "yes" else "no");
+        Printf.sprintf "%.0f"
+          (Testgen.Test_time.missing_code_time ~samples *. 1e6);
+      ]
+  in
+  List.iter sweep [ 256; 1000; 4096 ];
+  print_table t
+
+let ablation_near_miss () =
+  banner "Ablation A3: non-catastrophic short model";
+  note "The paper models near-miss shorts as 500 ohm || 1 fF.@.";
+  let t =
+    Util.Table.create
+      ~columns:
+        [
+          "model", Util.Table.Left;
+          "comparator coverage (non-cat)", Util.Table.Right;
+        ]
+  in
+  let coverage_with ~resistance ~capacitance =
+    let tech =
+      {
+        Process.Tech.cmos1um with
+        Process.Tech.near_miss_resistance = resistance;
+        near_miss_capacitance = capacitance;
+      }
+    in
+    let cfg = { config with Core.Pipeline.tech } in
+    let a =
+      Core.Pipeline.analyze cfg
+        (Adc.Comparator.macro Adc.Comparator.default_options)
+    in
+    let venn =
+      Testgen.Overlap.venn_of_partition
+        (Testgen.Overlap.partition a.Core.Pipeline.outcomes_non_catastrophic)
+    in
+    Testgen.Overlap.coverage venn
+  in
+  List.iter
+    (fun (label, resistance, capacitance) ->
+      Util.Table.add_row t
+        [
+          label;
+          Util.Table.cell_pct (100. *. coverage_with ~resistance ~capacitance);
+        ])
+    [
+      "500 ohm || 1 fF (paper)", 500.0, 1e-15;
+      "500 ohm only", 500.0, 1e-30;
+      "5 kohm || 1 fF", 5_000.0, 1e-15;
+    ];
+  print_table t
+
+let ablation_defect_count () =
+  banner "Ablation A4: defect-sample size";
+  note "The paper re-sprinkled 25k -> 10M defects to stabilize magnitudes.@.";
+  let t =
+    Util.Table.create
+      ~columns:
+        [
+          "defects", Util.Table.Right;
+          "fault classes", Util.Table.Right;
+          "short share", Util.Table.Right;
+        ]
+  in
+  let macro = Adc.Comparator.macro Adc.Comparator.default_options in
+  let cell = Lazy.force macro.Macro.Macro_cell.cell in
+  let netlist =
+    macro.Macro.Macro_cell.build
+      (Process.Variation.nominal Process.Tech.cmos1um)
+  in
+  let sweep n =
+    let r =
+      Defect.Simulate.run ~tech:Process.Tech.cmos1um
+        ~stats:Process.Defect_stats.default ~cell ~netlist
+        (Util.Prng.create 3) ~n
+    in
+    let classes = Fault.Collapse.collapse r.Defect.Simulate.instances in
+    let short_share =
+      match
+        List.find_opt
+          (fun (ft, _, _) -> ft = Fault.Types.Short)
+          (Fault.Collapse.by_type classes)
+      with
+      | Some (_, share, _) -> share
+      | None -> 0.0
+    in
+    Util.Table.add_row t
+      [
+        string_of_int n;
+        string_of_int (List.length classes);
+        Util.Table.cell_pct (100. *. short_share);
+      ]
+  in
+  List.iter sweep
+    (if quick then [ 5_000; 25_000 ] else [ 25_000; 100_000; 400_000 ]);
+  print_table t
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_timings () =
+  banner "Kernel timings (bechamel)";
+  let open Bechamel in
+  let macro = Adc.Comparator.macro Adc.Comparator.default_options in
+  let cell = Lazy.force macro.Macro.Macro_cell.cell in
+  let netlist =
+    macro.Macro.Macro_cell.build
+      (Process.Variation.nominal Process.Tech.cmos1um)
+  in
+  let instances =
+    (Defect.Simulate.run ~tech:Process.Tech.cmos1um
+       ~stats:Process.Defect_stats.default ~cell ~netlist
+       (Util.Prng.create 5) ~n:25_000)
+      .Defect.Simulate.instances
+  in
+  let ladder_netlist =
+    Adc.Ladder.bench_netlist (Process.Variation.nominal Process.Tech.cmos1um)
+  in
+  let tests =
+    [
+      ( "defect-sprinkle-25k (T1)",
+        fun () ->
+          ignore
+            (Defect.Simulate.run ~tech:Process.Tech.cmos1um
+               ~stats:Process.Defect_stats.default ~cell ~netlist
+               (Util.Prng.create 5) ~n:25_000) );
+      ( "fault-collapse (T1)",
+        fun () -> ignore (Fault.Collapse.collapse instances) );
+      ( "comparator-measure (T2/T3)",
+        fun () -> ignore (macro.Macro.Macro_cell.measure netlist) );
+      ( "ladder-dc-solve (X1)",
+        fun () -> ignore (Circuit.Engine.dc_operating_point ladder_netlist) );
+      ( "behavioural-ramp-1000 (F4)",
+        fun () ->
+          ignore
+            (Adc.Flash_adc.missing_codes Adc.Flash_adc.ideal
+               (Util.Prng.create 7) ~samples:1000) );
+      ( "layout-extraction (T1)",
+        fun () -> ignore (Layout.Extract.extract cell) );
+    ]
+  in
+  let analyze =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) ()
+  in
+  List.iter
+    (fun (name, run) ->
+      let test = Test.make ~name (Staged.stage run) in
+      let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+      let results = Analyze.all analyze Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun _key result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            Format.printf "  %-32s %12.1f us/run@." name (est /. 1e3)
+          | Some _ | None -> Format.printf "  %-32s (no estimate)@." name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Format.printf
+    "dotest benchmark harness — reproduction of Kuijstermans, Thijssen & \
+     Sachdev, DATE 1995%s@."
+    (if quick then " (quick mode)" else "");
+  comparator_experiments ();
+  global_experiments ();
+  quality_experiment ();
+  amplifier_experiment ();
+  if not no_ablations then begin
+    ablation_sigma ();
+    ablation_samples ();
+    ablation_near_miss ();
+    ablation_defect_count ()
+  end;
+  if timings then bechamel_timings ();
+  Format.printf "@.done.@."

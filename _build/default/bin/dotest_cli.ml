@@ -1,0 +1,155 @@
+(* dotest — defect-oriented test methodology for mixed-signal circuits.
+
+   Command-line front end over the dotest libraries: run the per-macro
+   test path, the global coverage analysis, and the DfT comparison. *)
+
+open Cmdliner
+
+let setup_logging verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let config_of ~defects ~dies ~sigma ~seed =
+  {
+    Core.Pipeline.default_config with
+    defects;
+    good_space_dies = dies;
+    sigma;
+    seed;
+  }
+
+(* --- shared options ---------------------------------------------------- *)
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log pipeline progress.")
+
+let defects =
+  Arg.(
+    value
+    & opt int Core.Pipeline.default_config.Core.Pipeline.defects
+    & info [ "defects" ] ~docv:"N" ~doc:"Spot defects sprinkled per macro.")
+
+let dies =
+  Arg.(
+    value
+    & opt int Core.Pipeline.default_config.Core.Pipeline.good_space_dies
+    & info [ "dies" ] ~docv:"N"
+        ~doc:"Monte-Carlo dies compiled into the good-signature space.")
+
+let sigma =
+  Arg.(
+    value
+    & opt float Core.Pipeline.default_config.Core.Pipeline.sigma
+    & info [ "sigma" ] ~docv:"K" ~doc:"Acceptance window width in sigma.")
+
+let seed =
+  Arg.(
+    value
+    & opt int Core.Pipeline.default_config.Core.Pipeline.seed
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic experiment seed.")
+
+let dft =
+  Arg.(
+    value & flag
+    & info [ "dft" ] ~doc:"Apply both DfT measures before the analysis.")
+
+let print_table title table =
+  Format.printf "@.== %s ==@.%s@." title (Util.Table.render table)
+
+(* --- commands ----------------------------------------------------------- *)
+
+let comparator_cmd =
+  let run verbose defects dies sigma seed dft =
+    setup_logging verbose;
+    let config = config_of ~defects ~dies ~sigma ~seed in
+    let options =
+      if dft then Adc.Comparator.dft_options else Adc.Comparator.default_options
+    in
+    let analysis = Core.Pipeline.analyze config (Adc.Comparator.macro options) in
+    print_table "Table 1: catastrophic faults and fault classes"
+      (Core.Report.table1 analysis);
+    print_table "Table 2: voltage fault signatures" (Core.Report.table2 analysis);
+    print_table "Table 3: current fault signatures" (Core.Report.table3 analysis);
+    print_table "Fig. 3: detectability of catastrophic faults"
+      (Core.Report.figure3 analysis)
+  in
+  Cmd.v
+    (Cmd.info "comparator"
+       ~doc:"Run the defect-oriented test path for the comparator macro.")
+    Term.(const run $ verbose $ defects $ dies $ sigma $ seed $ dft)
+
+let global_cmd =
+  let run verbose defects dies sigma seed dft =
+    setup_logging verbose;
+    let config = config_of ~defects ~dies ~sigma ~seed in
+    let measures = if dft then Dft.Measures.all_measures else [] in
+    let macros = Dft.Measures.macro_set ~measures in
+    let analyses = List.map (Core.Pipeline.analyze config) macros in
+    let g = Core.Global.combine analyses in
+    print_table
+      (if dft then "Fig. 5: global detectability after DfT"
+       else "Fig. 4: global detectability")
+      (Core.Report.figure4 g);
+    print_table "Per-macro current detectability" (Core.Report.macro_current g);
+    print_table "Summary" (Core.Report.summary g)
+  in
+  Cmd.v
+    (Cmd.info "global"
+       ~doc:"Run all five macros and the global scaling step.")
+    Term.(const run $ verbose $ defects $ dies $ sigma $ seed $ dft)
+
+let dft_cmd =
+  let run verbose defects dies sigma seed =
+    setup_logging verbose;
+    let config = config_of ~defects ~dies ~sigma ~seed in
+    let original, improved = Dft.Measures.compare_coverage ~config () in
+    print_table "Fig. 4: before DfT" (Core.Report.figure4 original);
+    print_table "Fig. 5: after DfT" (Core.Report.figure4 improved);
+    Format.printf "@.DfT measures applied:@.";
+    List.iter
+      (fun m -> Format.printf "  - %s@." (Dft.Measures.describe m))
+      Dft.Measures.all_measures;
+    Format.printf "@.General mixed-signal DfT guidelines:@.";
+    List.iter (fun g -> Format.printf "  * %s@." g) Dft.Measures.guidelines
+  in
+  Cmd.v
+    (Cmd.info "dft" ~doc:"Compare coverage before and after the DfT measures.")
+    Term.(const run $ verbose $ defects $ dies $ sigma $ seed)
+
+let ramp_cmd =
+  let run samples =
+    let prng = Util.Prng.create 7 in
+    let report tag adc =
+      let missing = Adc.Flash_adc.missing_codes adc prng ~samples in
+      Format.printf "%-28s missing codes: %s@." tag
+        (match missing with
+        | [] -> "none"
+        | codes -> String.concat ", " (List.map string_of_int codes))
+    in
+    report "fault-free" Adc.Flash_adc.ideal;
+    report "comparator 100 stuck high"
+      (Adc.Flash_adc.with_comparator Adc.Flash_adc.ideal 100
+         Adc.Flash_adc.Stuck_high);
+    report "comparator 100 offset 12mV"
+      (Adc.Flash_adc.with_comparator Adc.Flash_adc.ideal 100
+         (Adc.Flash_adc.Functional 0.012));
+    report "comparator 100 erratic"
+      (Adc.Flash_adc.with_comparator Adc.Flash_adc.ideal 100
+         Adc.Flash_adc.Erratic);
+    Format.printf "@.%a@." Testgen.Test_time.pp_budget ()
+  in
+  let samples =
+    Arg.(
+      value
+      & opt int Testgen.Test_time.missing_code_samples
+      & info [ "samples" ] ~docv:"N" ~doc:"Conversions in the ramp test.")
+  in
+  Cmd.v
+    (Cmd.info "ramp"
+       ~doc:"Demonstrate the missing-code test on the behavioural converter.")
+    Term.(const run $ samples)
+
+let () =
+  let doc = "defect-oriented test methodology for complex mixed-signal circuits" in
+  let info = Cmd.info "dotest" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ comparator_cmd; global_cmd; dft_cmd; ramp_cmd ]))

@@ -1,0 +1,1 @@
+examples/adc_full_flow.ml: Core Dft Fault Format Layout Lazy List Macro Testgen Util

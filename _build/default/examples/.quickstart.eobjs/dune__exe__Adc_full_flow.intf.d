@@ -1,0 +1,1 @@
+examples/adc_full_flow.mli:

@@ -1,0 +1,1 @@
+examples/amplifier_study.ml: Amplifier Core Fault Format Layout Lazy List Macro Process String Util

@@ -1,0 +1,1 @@
+examples/comparator_study.ml: Adc Core Format Layout Lazy List Macro String Testgen Util

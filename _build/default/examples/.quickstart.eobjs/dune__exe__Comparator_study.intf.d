@@ -1,0 +1,1 @@
+examples/comparator_study.mli:

@@ -1,0 +1,1 @@
+examples/custom_macro.ml: Circuit Core Float Format Layout List Macro Process Testgen Util

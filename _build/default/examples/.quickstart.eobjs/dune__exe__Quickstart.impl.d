@@ -1,0 +1,1 @@
+examples/quickstart.ml: Circuit Core Fault Format Layout Lazy List Macro Process Testgen Util

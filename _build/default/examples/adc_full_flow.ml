@@ -1,0 +1,76 @@
+(* The full case study (§3.3-3.4): all five macro types of the 8-bit
+   flash ADC, global scaling, and the Design-for-Testability measures.
+
+   Reproduces Fig. 4 (global detectability), the per-macro current
+   detectability claims, and Fig. 5 (after DfT).
+
+   Run with:  dune exec examples/adc_full_flow.exe                       *)
+
+let section title = Format.printf "@.--- %s ---@." title
+
+let () =
+  Format.printf
+    "Flash ADC full flow: 256 comparators, dual reference ladder, bias@.\
+     generator, clock generator and thermometer decoder.@.";
+
+  let config = Core.Pipeline.default_config in
+
+  section "per-macro analysis";
+  let analyses =
+    List.map
+      (fun macro ->
+        let a = Core.Pipeline.analyze config macro in
+        Format.printf
+          "  %-16s %6d defects -> %4d classes; cell %9d um^2 x %d@."
+          macro.Macro.Macro_cell.name a.Core.Pipeline.sprinkled
+          (List.length a.Core.Pipeline.classes_catastrophic)
+          (Layout.Cell.area (Lazy.force macro.Macro.Macro_cell.cell) / 1_000_000)
+          macro.Macro.Macro_cell.instances;
+        a)
+      (Dft.Measures.original ())
+  in
+
+  section "global scaling (Fig. 4)";
+  let g = Core.Global.combine analyses in
+  Format.printf
+    "Per-macro signature probabilities scaled by area x instances@.\
+     (defect density is uniform per unit area):@.%s@."
+    (Util.Table.render (Core.Report.figure4 g));
+
+  section "per-macro current detectability (§3.3)";
+  Format.printf "%s@." (Util.Table.render (Core.Report.macro_current g));
+
+  section "why do faults escape?";
+  let comparator = List.hd analyses in
+  let undetected =
+    List.filter
+      (fun (o : Macro.Evaluate.outcome) ->
+        not (Testgen.Detection.detected (Testgen.Detection.of_outcome o)))
+      comparator.Core.Pipeline.outcomes_catastrophic
+  in
+  Format.printf "undetected catastrophic comparator fault classes:@.";
+  List.iter
+    (fun (o : Macro.Evaluate.outcome) ->
+      Format.printf "  x%-3d %a@." o.fault_class.Fault.Collapse.count
+        Fault.Types.pp_fault o.fault_class.representative.Fault.Types.fault)
+    undetected;
+  Format.printf
+    "Two mechanisms dominate: moderate IVdd deviations hide in the@.\
+     flipflop-leakage spread, and shorts between the two almost-equal@.\
+     bias lines change nothing observable.@.";
+
+  section "applying the DfT measures (Fig. 5)";
+  List.iter
+    (fun m -> Format.printf "  - %s@." (Dft.Measures.describe m))
+    Dft.Measures.all_measures;
+  let improved =
+    Core.Global.combine
+      (List.map (Core.Pipeline.analyze config) (Dft.Measures.improved ()))
+  in
+  Format.printf "%s@." (Util.Table.render (Core.Report.figure4 improved));
+  Format.printf "coverage: %.1f%% -> %.1f%% (catastrophic)@."
+    (100. *. Core.Global.coverage g Fault.Types.Catastrophic)
+    (100. *. Core.Global.coverage improved Fault.Types.Catastrophic);
+
+  section "general DfT guidelines (§4)";
+  List.iter (fun gl -> Format.printf "  * %s@." gl) Dft.Measures.guidelines

@@ -1,0 +1,60 @@
+(* The amplifier case study: defect-oriented test of a Class-AB opamp.
+
+   The paper builds on an earlier silicon experiment (its reference [6]):
+   most process defects in a Class AB amplifier are detectable by simple
+   DC, transient and AC measurements, with current measurements catching
+   part of the remainder. This example reproduces that study's structure
+   with the same machinery used for the flash ADC — demonstrating that
+   the methodology generalizes beyond clocked macros.
+
+   Run with:  dune exec examples/amplifier_study.exe                     *)
+
+let section title = Format.printf "@.--- %s ---@." title
+
+let () =
+  Format.printf
+    "Class-AB amplifier study: a two-stage Miller opamp in unity-gain@.\
+     follower configuration, measured in all three simple test domains.@.";
+
+  let macro = Amplifier.Class_ab.macro () in
+
+  section "golden behaviour";
+  let golden =
+    macro.Macro.Macro_cell.measure
+      (macro.Macro.Macro_cell.build
+         (Process.Variation.nominal Process.Tech.cmos1um))
+  in
+  List.iter
+    (fun (name, v) -> Format.printf "  %-16s %12.5g@." name v)
+    golden;
+
+  section "layout";
+  let cell = Lazy.force macro.Macro.Macro_cell.cell in
+  Format.printf "%a@." Layout.Cell.pp_summary cell;
+  Format.printf "DRC: %d violations; LVS: %s@."
+    (List.length (Layout.Drc.check cell))
+    (match
+       Layout.Extract.check_against
+         (Layout.Extract.extract cell)
+         (Amplifier.Class_ab.layout_netlist ())
+     with
+    | [] -> "clean"
+    | v -> String.concat "; " v);
+
+  section "defect study";
+  let result = Amplifier.Study.run () in
+  Format.printf "%d fault classes from %d sprinkled defects@.@.%s@."
+    (List.length result.Amplifier.Study.reports)
+    result.analysis.Core.Pipeline.sprinkled
+    (Util.Table.render (Amplifier.Study.report_table result));
+
+  section "escaping faults";
+  List.iter
+    (fun (r : Amplifier.Study.fault_report) ->
+      if r.families = [] then
+        Format.printf "  x%-3d %a@." r.fault_class.Fault.Collapse.count
+          Fault.Types.pp_fault r.fault_class.representative.Fault.Types.fault)
+    result.reports;
+  Format.printf
+    "@.As in the original experiment, a small population of faults leaves@.\
+     every simple measurement inside its acceptance window.@."

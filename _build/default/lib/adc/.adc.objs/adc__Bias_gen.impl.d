@@ -1,0 +1,1 @@
+lib/adc/bias_gen.ml: Circuit Float Layout Macro Process

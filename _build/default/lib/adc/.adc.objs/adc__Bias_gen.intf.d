@@ -1,0 +1,1 @@
+lib/adc/bias_gen.mli: Circuit Macro Process

@@ -1,0 +1,1 @@
+lib/adc/clock_gen.ml: Circuit Clocks Float Layout List Macro Params Printf Process

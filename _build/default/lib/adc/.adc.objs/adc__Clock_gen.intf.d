@@ -1,0 +1,1 @@
+lib/adc/clock_gen.mli: Circuit Macro Process

@@ -1,0 +1,1 @@
+lib/adc/clocks.ml: Circuit Params

@@ -1,0 +1,1 @@
+lib/adc/comparator.ml: Circuit Clocks Float Layout List Macro Params Printf Process String

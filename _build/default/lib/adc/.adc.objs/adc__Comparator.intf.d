@@ -1,0 +1,1 @@
+lib/adc/comparator.mli: Circuit Layout Macro Process

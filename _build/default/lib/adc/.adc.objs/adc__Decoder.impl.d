@@ -1,0 +1,1 @@
+lib/adc/decoder.ml: Circuit Fun Layout List Macro Printf Process

@@ -1,0 +1,1 @@
+lib/adc/decoder.mli: Circuit Macro Process

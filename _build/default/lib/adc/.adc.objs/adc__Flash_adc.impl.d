@@ -1,0 +1,1 @@
+lib/adc/flash_adc.ml: Array Params Util

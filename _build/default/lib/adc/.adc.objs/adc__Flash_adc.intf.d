@@ -1,0 +1,1 @@
+lib/adc/flash_adc.mli: Util

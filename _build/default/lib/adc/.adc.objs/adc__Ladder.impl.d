@@ -1,0 +1,1 @@
+lib/adc/ladder.ml: Circuit Float Layout List Macro Params Printf Process

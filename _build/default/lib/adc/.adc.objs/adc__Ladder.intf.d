@@ -1,0 +1,1 @@
+lib/adc/ladder.mli: Circuit Macro Process

@@ -1,0 +1,1 @@
+lib/adc/params.mli:

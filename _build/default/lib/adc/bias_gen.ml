@@ -1,0 +1,80 @@
+let nmos_diode (s : Process.Variation.sample) w =
+  let p = Circuit.Mos_model.default_nmos in
+  {
+    Circuit.Netlist.polarity = Circuit.Mos_model.Nmos;
+    params =
+      {
+        p with
+        Circuit.Mos_model.vth = p.Circuit.Mos_model.vth +. s.vth_n_shift;
+        kp = p.Circuit.Mos_model.kp *. s.beta_factor;
+      };
+    w;
+    l = 1e-6;
+  }
+
+let add_macro_devices (s : Process.Variation.sample) nl =
+  let n name = Circuit.Netlist.node nl name in
+  let gnd = Circuit.Netlist.ground in
+  let vdd = n "vdd" in
+  let rf = s.Process.Variation.resistance_factor in
+  (* biasn branch: sized so the diode sits at ~1.50 V. *)
+  Circuit.Netlist.add_resistor nl ~name:"RREFN" vdd (n "biasn") (15_500. *. rf);
+  Circuit.Netlist.add_mosfet nl ~name:"MREFN" ~drain:(n "biasn")
+    ~gate:(n "biasn") ~source:gnd ~bulk:gnd (nmos_diode s 10e-6);
+  (* biaslt branch: a narrower diode lands ~50 mV higher. *)
+  Circuit.Netlist.add_resistor nl ~name:"RREFLT" vdd (n "biaslt") (17_100. *. rf);
+  Circuit.Netlist.add_mosfet nl ~name:"MREFLT" ~drain:(n "biaslt")
+    ~gate:(n "biaslt") ~source:gnd ~bulk:gnd (nmos_diode s 8e-6);
+  (* biasff divider. *)
+  Circuit.Netlist.add_resistor nl ~name:"RFFA" vdd (n "biasff") (41_600. *. rf);
+  Circuit.Netlist.add_resistor nl ~name:"RFFB" (n "biasff") gnd (8_400. *. rf)
+
+let layout_netlist () =
+  let nl = Circuit.Netlist.create () in
+  add_macro_devices (Process.Variation.nominal Process.Tech.cmos1um) nl;
+  nl
+
+let bench_netlist (s : Process.Variation.sample) =
+  let nl = Circuit.Netlist.create () in
+  add_macro_devices s nl;
+  Circuit.Netlist.add_vsource nl ~name:"VDDA"
+    ~pos:(Circuit.Netlist.node nl "vdd") ~neg:Circuit.Netlist.ground
+    (Circuit.Waveform.dc s.Process.Variation.vdd);
+  nl
+
+let measure nl =
+  let sol = Circuit.Engine.dc_operating_point nl in
+  let v name = Circuit.Engine.voltage sol (Circuit.Netlist.node nl name) in
+  [
+    "v:biasn", v "biasn";
+    "v:biaslt", v "biaslt";
+    "v:biasff", v "biasff";
+    "ivdd:bias", Circuit.Engine.source_current sol "VDDA";
+  ]
+
+(* The comparator tail current goes as (biasn - vth)²: a 300 mV shift
+   starves or floods the whole array (stuck codes); tens of millivolts
+   shift every threshold (offsets); the leak bias only disturbs a
+   monitoring line. *)
+let classify_voltage ~golden ~faulty =
+  let dev name =
+    match Macro.Macro_cell.get_opt golden name, Macro.Macro_cell.get_opt faulty name with
+    | Some g, Some f -> Float.abs (f -. g)
+    | (None | Some _), _ -> 0.0
+  in
+  let main = Float.max (dev "v:biasn") (dev "v:biaslt") in
+  if main > 0.3 then Macro.Signature.Output_stuck_at
+  else if main > 0.03 then Macro.Signature.Offset_too_large
+  else if dev "v:biasff" > 0.1 then Macro.Signature.Clock_value
+  else Macro.Signature.No_voltage_deviation
+
+let macro () =
+  {
+    Macro.Macro_cell.name = "bias generator";
+    build = bench_netlist;
+    cell =
+      lazy (Layout.Synthesize.synthesize (layout_netlist ()) ~name:"bias_gen");
+    measure;
+    classify_voltage;
+    instances = 1;
+  }

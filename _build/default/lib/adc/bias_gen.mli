@@ -1,0 +1,16 @@
+(** The bias-generator macro.
+
+    Produces the three bias lines the comparator array consumes: [biasn]
+    (the amplifier tail bias), [biaslt] (the latch tail bias — nominally
+    only 50 mV away from [biasn], which is what makes shorts between the
+    two lines nearly undetectable), and [biasff] (the flipflop leak-device
+    bias, just above threshold). Each current-setting branch is a resistor
+    into a diode-connected NMOS; the divider branch derives [biasff].
+
+    Observables: the bias output levels (voltage domain — a shifted bias
+    throws offset or kills the comparator array) and the analog supply
+    current of the generator ([ivdd:]). *)
+
+val layout_netlist : unit -> Circuit.Netlist.t
+val bench_netlist : Process.Variation.sample -> Circuit.Netlist.t
+val macro : unit -> Macro.Macro_cell.t

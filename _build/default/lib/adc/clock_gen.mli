@@ -1,0 +1,13 @@
+(** The clock-generator macro.
+
+    Distributes the three non-overlapping comparator phases: each phase
+    runs through a two-stage CMOS buffer (a small shaping inverter into a
+    large driver, which is why clock lines can absorb high-ohmic defects
+    without sticking — the paper's "Clock value" signature). The macro is
+    digital: its quiescent supply current is the IDDQ observable, and
+    shorts anywhere inside it raise IDDQ — the paper measured 93.8 % of
+    its faults current detectable. *)
+
+val layout_netlist : unit -> Circuit.Netlist.t
+val bench_netlist : Process.Variation.sample -> Circuit.Netlist.t
+val macro : unit -> Macro.Macro_cell.t

@@ -1,0 +1,13 @@
+let pulse_phase ~active_high index =
+  if index < 1 || index > 3 then invalid_arg "Clocks: phase index";
+  let p = Params.phase in
+  let edge = 4e-9 in
+  let v0, v1 = if active_high then 0.0, 5.0 else 5.0, 0.0 in
+  Circuit.Waveform.pulse ~v0 ~v1
+    ~delay:(float_of_int (index - 1) *. p)
+    ~rise:edge ~fall:edge
+    ~width:(p -. (2. *. edge))
+    ~period:Params.period
+
+let raw_phase = pulse_phase ~active_high:false
+let direct_phase = pulse_phase ~active_high:true

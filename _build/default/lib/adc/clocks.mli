@@ -1,0 +1,10 @@
+(** Shared three-phase clocking of the converter. *)
+
+(** [raw_phase i] (i ∈ 1..3) is the inverted phase-[i] waveform feeding a
+    single inverting clock buffer: low during phase [i] of each conversion
+    period (so the buffered clock is high), high otherwise. *)
+val raw_phase : int -> Circuit.Waveform.t
+
+(** [direct_phase i] is the active-high variant, for the clock generator's
+    non-inverting two-stage buffers. *)
+val direct_phase : int -> Circuit.Waveform.t

@@ -1,0 +1,165 @@
+let thermometer_bits = 7
+let binary_bits = 3
+let expected_code k = k
+
+let sized (s : Process.Variation.sample) polarity w =
+  let base, shift =
+    match (polarity : Circuit.Mos_model.polarity) with
+    | Circuit.Mos_model.Nmos ->
+      Circuit.Mos_model.default_nmos, s.Process.Variation.vth_n_shift
+    | Circuit.Mos_model.Pmos ->
+      Circuit.Mos_model.default_pmos, s.Process.Variation.vth_p_shift
+  in
+  {
+    Circuit.Netlist.polarity;
+    params =
+      {
+        base with
+        Circuit.Mos_model.vth = base.Circuit.Mos_model.vth +. shift;
+        kp = base.Circuit.Mos_model.kp *. s.Process.Variation.beta_factor;
+      };
+    w;
+    l = 1e-6;
+  }
+
+(* Static CMOS gate builders. Series stacks get an internal node named
+   after the gate; all gates share the digital supply node [vddd].
+
+   Logic implemented (thermometer t1..t7, binary b2 b1 b0):
+     b2 = t4
+     b1 = t6 OR (t2 AND NOT t4)
+     b0 = t7 OR (t5 AND NOT t6) OR (t3 AND NOT t4) OR (t1 AND NOT t2)   *)
+let add_macro_devices (s : Process.Variation.sample) nl =
+  let n name = Circuit.Netlist.node nl name in
+  let gnd = Circuit.Netlist.ground in
+  let vddd = n "vddd" in
+  let pmos w = sized s Circuit.Mos_model.Pmos w in
+  let nmos w = sized s Circuit.Mos_model.Nmos w in
+  let mos name ~d ~g ~src ~b spec =
+    Circuit.Netlist.add_mosfet nl ~name ~drain:d ~gate:g ~source:src ~bulk:b spec
+  in
+  let inv tag ~input ~output =
+    mos ("MP" ^ tag) ~d:output ~g:input ~src:vddd ~b:vddd (pmos 8e-6);
+    mos ("MN" ^ tag) ~d:output ~g:input ~src:gnd ~b:gnd (nmos 4e-6)
+  in
+  let nand2 tag ~a ~b ~output =
+    mos ("MPA" ^ tag) ~d:output ~g:a ~src:vddd ~b:vddd (pmos 8e-6);
+    mos ("MPB" ^ tag) ~d:output ~g:b ~src:vddd ~b:vddd (pmos 8e-6);
+    let mid = n ("x" ^ tag) in
+    mos ("MNA" ^ tag) ~d:output ~g:a ~src:mid ~b:gnd (nmos 8e-6);
+    mos ("MNB" ^ tag) ~d:mid ~g:b ~src:gnd ~b:gnd (nmos 8e-6)
+  in
+  (* NOR with [inputs]: series PMOS stack, parallel NMOS. *)
+  let nor tag ~inputs ~output =
+    let rec pstack src = function
+      | [] -> ()
+      | [ last ] -> mos ("MP" ^ tag ^ last) ~d:output ~g:(n last) ~src ~b:vddd (pmos 16e-6)
+      | input :: rest ->
+        let mid = n ("y" ^ tag ^ input) in
+        mos ("MP" ^ tag ^ input) ~d:mid ~g:(n input) ~src ~b:vddd (pmos 16e-6);
+        pstack mid rest
+    in
+    pstack vddd inputs;
+    List.iter
+      (fun input ->
+        mos ("MN" ^ tag ^ input) ~d:output ~g:(n input) ~src:gnd ~b:gnd (nmos 4e-6))
+      inputs
+  in
+  (* Inverted thermometer bits used by the product terms. *)
+  List.iter
+    (fun i -> inv (Printf.sprintf "I%d" i)
+        ~input:(n (Printf.sprintf "t%d" i))
+        ~output:(n (Printf.sprintf "nt%d" i)))
+    [ 2; 4; 6 ];
+  (* b2 = buffer(t4). *)
+  inv "B2A" ~input:(n "t4") ~output:(n "nb2");
+  inv "B2B" ~input:(n "nb2") ~output:(n "b2");
+  (* b1 = t6 OR (t2 AND NOT t4): and-term via NAND+INV, then NOR+INV. *)
+  nand2 "A1" ~a:(n "t2") ~b:(n "nt4") ~output:(n "na1");
+  inv "A1I" ~input:(n "na1") ~output:(n "a1");
+  nor "B1N" ~inputs:[ "t6"; "a1" ] ~output:(n "nb1");
+  inv "B1I" ~input:(n "nb1") ~output:(n "b1");
+  (* b0 = t7 OR (t5·!t6) OR (t3·!t4) OR (t1·!t2). *)
+  nand2 "A2" ~a:(n "t5") ~b:(n "nt6") ~output:(n "na2");
+  inv "A2I" ~input:(n "na2") ~output:(n "a2");
+  nand2 "A3" ~a:(n "t3") ~b:(n "nt4") ~output:(n "na3");
+  inv "A3I" ~input:(n "na3") ~output:(n "a3");
+  nand2 "A4" ~a:(n "t1") ~b:(n "nt2") ~output:(n "na4");
+  inv "A4I" ~input:(n "na4") ~output:(n "a4");
+  nor "B0N" ~inputs:[ "t7"; "a2"; "a3"; "a4" ] ~output:(n "nb0");
+  inv "B0I" ~input:(n "nb0") ~output:(n "b0")
+
+let layout_netlist () =
+  let nl = Circuit.Netlist.create () in
+  add_macro_devices (Process.Variation.nominal Process.Tech.cmos1um) nl;
+  nl
+
+let bench_netlist (s : Process.Variation.sample) =
+  let nl = Circuit.Netlist.create () in
+  add_macro_devices s nl;
+  let n name = Circuit.Netlist.node nl name in
+  Circuit.Netlist.add_vsource nl ~name:"VDDD" ~pos:(n "vddd")
+    ~neg:Circuit.Netlist.ground
+    (Circuit.Waveform.dc s.Process.Variation.vdd);
+  List.iter
+    (fun i ->
+      Circuit.Netlist.add_vsource nl
+        ~name:(Printf.sprintf "VT%d" i)
+        ~pos:(n (Printf.sprintf "t%d" i))
+        ~neg:Circuit.Netlist.ground (Circuit.Waveform.dc 0.0))
+    (List.init thermometer_bits (fun i -> i + 1));
+  nl
+
+(* Apply thermometer pattern [k] (k leading ones) and solve DC. *)
+let solve_pattern nl k =
+  let nl = Circuit.Netlist.copy nl in
+  List.iter
+    (fun i ->
+      let name = Printf.sprintf "VT%d" i in
+      let node = Circuit.Netlist.node nl (Printf.sprintf "t%d" i) in
+      Circuit.Netlist.remove_device nl name;
+      Circuit.Netlist.add_vsource nl ~name ~pos:node ~neg:Circuit.Netlist.ground
+        (Circuit.Waveform.dc (if i <= k then 5.0 else 0.0)))
+    (List.init thermometer_bits (fun i -> i + 1));
+  nl, Circuit.Engine.dc_operating_point nl
+
+let measure nl =
+  List.concat_map
+    (fun k ->
+      let nl_k, sol = solve_pattern nl k in
+      let v name = Circuit.Engine.voltage sol (Circuit.Netlist.node nl_k name) in
+      [
+        Printf.sprintf "v:b0:%d" k, v "b0";
+        Printf.sprintf "v:b1:%d" k, v "b1";
+        Printf.sprintf "v:b2:%d" k, v "b2";
+        Printf.sprintf "iddq:p%d" k, Circuit.Engine.source_current sol "VDDD";
+      ])
+    (List.init (thermometer_bits + 1) Fun.id)
+
+let classify_voltage ~golden ~faulty =
+  let wrong_bit =
+    List.exists
+      (fun (name, value) ->
+        match Macro.Signature.current_kind_of_measurement name with
+        | Some _ -> false
+        | None ->
+          (match Macro.Macro_cell.get_opt golden name with
+          | Some g -> (g > 2.5) <> (value > 2.5)
+          | None -> false))
+      faulty
+  in
+  if wrong_bit then Macro.Signature.Output_stuck_at
+  else Macro.Signature.No_voltage_deviation
+
+let macro () =
+  {
+    Macro.Macro_cell.name = "decoder";
+    build = bench_netlist;
+    cell =
+      lazy (Layout.Synthesize.synthesize (layout_netlist ()) ~name:"decoder");
+    measure;
+    classify_voltage;
+    (* The 255-input decoder of the full converter corresponds to roughly
+       36 copies of this 7-input slice. *)
+    instances = 36;
+  }

@@ -1,0 +1,19 @@
+(** The digital decoder macro (thermometer → binary).
+
+    The full converter decodes 255 thermometer bits into 8 binary bits;
+    the analysed macro is a 3-bit slice (7 thermometer inputs) in static
+    CMOS, replicated [instances] times in the global scaling. Being fully
+    static CMOS, its fault-free quiescent current is ≈ 0, so almost any
+    bridging defect shows up in IDDQ; a wrong output bit means wrong or
+    missing output codes (voltage detection). *)
+
+val thermometer_bits : int
+
+val binary_bits : int
+
+(** [expected_code k] — binary value for [k] leading thermometer ones. *)
+val expected_code : int -> int
+
+val layout_netlist : unit -> Circuit.Netlist.t
+val bench_netlist : Process.Variation.sample -> Circuit.Netlist.t
+val macro : unit -> Macro.Macro_cell.t

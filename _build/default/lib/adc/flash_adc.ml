@@ -1,0 +1,78 @@
+type comparator_state =
+  | Functional of float
+  | Stuck_high
+  | Stuck_low
+  | Erratic
+
+let comparators = Params.levels - 1
+
+type t = {
+  states : comparator_state array;
+  references : float array;
+}
+
+let reference i =
+  assert (i >= 0 && i < comparators);
+  Params.vref_low +. (float_of_int (i + 1) *. Params.lsb)
+
+let ideal =
+  {
+    states = Array.make comparators (Functional 0.0);
+    references = Array.init comparators reference;
+  }
+
+let with_comparator t i state =
+  if i < 0 || i >= comparators then invalid_arg "Flash_adc.with_comparator";
+  let states = Array.copy t.states in
+  states.(i) <- state;
+  { t with states }
+
+let with_reference_shift t ~from_tap ~shift =
+  let references =
+    Array.mapi
+      (fun i r -> if i >= from_tap then r +. shift else r)
+      t.references
+  in
+  { t with references }
+
+(* Topmost-one decoding, the plain thermometer-to-binary conversion of
+   the case-study converter: the code is one plus the index of the
+   highest comparator reporting "input above my reference". Under this
+   decode a comparator offset beyond one LSB swallows exactly one code
+   and a stuck comparator masks a code range — both caught by the
+   missing-code measurement, as §3.2 requires. *)
+let convert t prng vin =
+  let topmost = ref (-1) in
+  for i = 0 to comparators - 1 do
+    let high =
+      match t.states.(i) with
+      | Functional offset -> vin > t.references.(i) +. offset
+      | Stuck_high -> true
+      | Stuck_low -> false
+      | Erratic -> Util.Prng.bool prng
+    in
+    if high then topmost := i
+  done;
+  !topmost + 1
+
+let codes_hit t prng ~samples =
+  if samples <= 0 then invalid_arg "Flash_adc.codes_hit";
+  let hit = Array.make Params.levels false in
+  (* Triangular ramp overshooting full scale by one LSB on both ends so
+     the extreme codes are exercised. *)
+  let lo = Params.vref_low -. Params.lsb in
+  let hi = Params.vref_high +. Params.lsb in
+  for k = 0 to samples - 1 do
+    let phase = float_of_int k /. float_of_int (max 1 (samples - 1)) in
+    let ramp = if phase <= 0.5 then 2.0 *. phase else 2.0 *. (1.0 -. phase) in
+    let vin = lo +. (ramp *. (hi -. lo)) in
+    hit.(convert t prng vin) <- true
+  done;
+  hit
+
+let missing_codes t prng ~samples =
+  let hit = codes_hit t prng ~samples in
+  let rec collect i acc =
+    if i < 0 then acc else collect (i - 1) (if hit.(i) then acc else i :: acc)
+  in
+  collect (Params.levels - 1) []

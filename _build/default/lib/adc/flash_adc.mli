@@ -1,0 +1,50 @@
+(** Behavioural model of the full 8-bit flash ADC.
+
+    This is the high-level model used in the fault-signature
+    sensitization/propagation step (paper §2): the transistor-level
+    simulation happens per macro; the effect of a macro-level fault
+    signature on the converter's output codes is evaluated here, where
+    255 comparator instances can be swept over a full-scale ramp in
+    microseconds of CPU time.
+
+    The converter: 255 comparators against ladder references, topmost-one
+    thermometer decoding (under which an offset beyond one LSB swallows a
+    code and a stuck comparator masks a code range — the paper's
+    missing-code mechanism). *)
+
+(** Behaviour of one comparator instance. *)
+type comparator_state =
+  | Functional of float  (** input-referred offset, V *)
+  | Stuck_high
+  | Stuck_low
+  | Erratic  (** resolves pseudo-randomly: the [Mixed] signature *)
+
+type t
+
+(** Number of comparators (levels - 1). *)
+val comparators : int
+
+(** The fault-free converter. *)
+val ideal : t
+
+(** [reference i] — the i-th ladder tap voltage (i ∈ 0..comparators-1). *)
+val reference : int -> float
+
+(** [with_comparator t i state] — functional update of one comparator. *)
+val with_comparator : t -> int -> comparator_state -> t
+
+(** [with_reference_shift t ~from_tap ~shift] adds [shift] volts to every
+    reference at index ≥ [from_tap] (a ladder fault). *)
+val with_reference_shift : t -> from_tap:int -> shift:float -> t
+
+(** [convert t prng vin] — one conversion. The PRNG only matters when an
+    [Erratic] comparator is present. *)
+val convert : t -> Util.Prng.t -> float -> int
+
+(** [codes_hit t prng ~samples] runs the paper's missing-code stimulus: a
+    triangular ramp spanning slightly beyond full scale, [samples]
+    conversions; element [c] tells whether code [c] was produced. *)
+val codes_hit : t -> Util.Prng.t -> samples:int -> bool array
+
+(** [missing_codes t prng ~samples] — the codes never produced. *)
+val missing_codes : t -> Util.Prng.t -> samples:int -> int list

@@ -1,0 +1,121 @@
+let taps = 32
+let segment_resistance = 125.0
+
+(* Two parallel strings between the reference rails, cross-tied every
+   eight taps (the dual-ladder interconnect). Tap nets are named
+   [tapN] (main string) and [ftapN] (fine string). *)
+let add_macro_devices (s : Process.Variation.sample) nl =
+  let n name = Circuit.Netlist.node nl name in
+  let r = segment_resistance *. s.Process.Variation.resistance_factor in
+  let string_of prefix =
+    let node i =
+      if i = 0 then n "vrl" else if i = taps then n "vrh"
+      else n (Printf.sprintf "%s%d" prefix i)
+    in
+    let add i =
+      Circuit.Netlist.add_resistor nl
+        ~name:(Printf.sprintf "R%s%d" prefix i)
+        (node i) (node (i + 1)) r
+    in
+    (* Insertion order = placement order. The physical ladder is a folded
+       serpentine: segment k sits next to segment k + taps/2, so a spot
+       defect bridging neighbouring segments shorts half the string — a
+       current change no process spread can hide. This is what makes
+       ladder faults almost fully current-detectable (§3.3). *)
+    for i = 0 to (taps / 2) - 1 do
+      add i;
+      add (i + (taps / 2))
+    done
+  in
+  string_of "tap";
+  string_of "ftap";
+  (* Cross ties. *)
+  List.iter
+    (fun i ->
+      Circuit.Netlist.add_resistor nl
+        ~name:(Printf.sprintf "RX%d" i)
+        (n (Printf.sprintf "tap%d" i))
+        (n (Printf.sprintf "ftap%d" i))
+        1.0)
+    [ 8; 16; 24 ]
+
+let layout_netlist () =
+  let nl = Circuit.Netlist.create () in
+  add_macro_devices (Process.Variation.nominal Process.Tech.cmos1um) nl;
+  nl
+
+let bench_netlist (s : Process.Variation.sample) =
+  let nl = Circuit.Netlist.create () in
+  add_macro_devices s nl;
+  let n name = Circuit.Netlist.node nl name in
+  Circuit.Netlist.add_vsource nl ~name:"VRH" ~pos:(n "vrh")
+    ~neg:Circuit.Netlist.ground (Circuit.Waveform.dc Params.vref_high);
+  Circuit.Netlist.add_vsource nl ~name:"VRL" ~pos:(n "vrl")
+    ~neg:Circuit.Netlist.ground (Circuit.Waveform.dc Params.vref_low);
+  nl
+
+let watched_taps = [ 4; 8; 12; 16; 20; 24; 28 ]
+
+let measure nl =
+  let sol = Circuit.Engine.dc_operating_point nl in
+  let v name = Circuit.Engine.voltage sol (Circuit.Netlist.node nl name) in
+  List.concat
+    [
+      List.map
+        (fun i -> Printf.sprintf "v:tap%d" i, v (Printf.sprintf "tap%d" i))
+        watched_taps;
+      List.map
+        (fun i -> Printf.sprintf "v:ftap%d" i, v (Printf.sprintf "ftap%d" i))
+        [ 8; 16; 24 ];
+      [
+        "iin:vrh", Circuit.Engine.source_current sol "VRH";
+        "iin:vrl", Circuit.Engine.source_current sol "VRL";
+      ];
+    ]
+
+(* A tap error of half an LSB shifts comparator thresholds enough to lose
+   codes; ten LSBs means a whole block of codes is gone. *)
+let classify_voltage ~golden ~faulty =
+  let worst =
+    List.fold_left
+      (fun acc (name, value) ->
+        match Macro.Signature.current_kind_of_measurement name with
+        | Some _ -> acc
+        | None ->
+          (match Macro.Macro_cell.get_opt golden name with
+          | Some g -> Float.max acc (Float.abs (value -. g))
+          | None -> acc))
+      0.0 faulty
+  in
+  if worst > 10.0 *. Params.lsb then Macro.Signature.Output_stuck_at
+  else if worst > 0.5 *. Params.lsb then Macro.Signature.Offset_too_large
+  else Macro.Signature.No_voltage_deviation
+
+(* Routing-track order mirroring the serpentine fold: neighbouring tap
+   tracks are half a string apart electrically. *)
+let folded_track_order =
+  let fold prefix =
+    List.concat_map
+      (fun i -> [ Printf.sprintf "%s%d" prefix i; Printf.sprintf "%s%d" prefix (i + (taps / 2)) ])
+      (List.init ((taps / 2) - 1) (fun i -> i + 1))
+  in
+  ("vrl" :: fold "tap") @ ("vrh" :: fold "ftap")
+
+let macro () =
+  {
+    Macro.Macro_cell.name = "ladder";
+    build = bench_netlist;
+    cell =
+      lazy
+        (Layout.Synthesize.synthesize
+           ~options:
+             {
+               Layout.Synthesize.default_options with
+               track_order = folded_track_order;
+             }
+           (layout_netlist ()) ~name:"ladder");
+    measure;
+    classify_voltage;
+    (* The full dual ladder has 256 taps: eight copies of this slice. *)
+    instances = 8;
+  }

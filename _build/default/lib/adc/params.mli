@@ -1,0 +1,58 @@
+(** Shared electrical parameters of the case-study 8-bit flash ADC. *)
+
+(** Number of output bits (256 comparators / reference levels). *)
+val bits : int
+
+val levels : int
+
+(** Analog supply, V. *)
+val vdd : float
+
+(** Bottom and top of the reference ladder, V. *)
+val vref_low : float
+
+val vref_high : float
+
+(** One least-significant bit in volts: (vref_high - vref_low)/levels. *)
+val lsb : float
+
+(** Offset limit of the voltage signature classification, V (the paper's
+    8 mV — about one LSB of the 2 V input range). *)
+val offset_limit : float
+
+(** Clock-phase duration, s (full conversion = 3 phases). *)
+val phase : float
+
+(** Full conversion period, s. *)
+val period : float
+
+(** Transient time step used in macro fault simulation, s. *)
+val sim_step : float
+
+(** Nominal bias-line levels, V. [bias_tail] and [bias_latch] are the
+    "marginally different" pair the DfT discussion targets. *)
+val bias_tail : float
+
+val bias_latch : float
+
+(** Gate bias of the flipflop leak device: slightly above the NMOS
+    threshold, so its current varies strongly with process. *)
+val bias_ff_leak : float
+
+(** Output impedance of the bias generator lines, Ω (the comparator test
+    bench drives bias lines through this resistance — shorting two
+    almost-equal bias lines therefore moves almost no current). *)
+val bias_output_impedance : float
+
+(** Times (s) at which the three clock phases are stably mid-way —
+    taken in the {e second} conversion cycle, after the flipflop has
+    resolved from its power-up state: sampling, amplification,
+    latching. *)
+val mid_sample : float
+
+val mid_amplify : float
+
+val mid_latch : float
+
+(** Time at which the comparator/flipflop decision is read, s. *)
+val decision_time : float

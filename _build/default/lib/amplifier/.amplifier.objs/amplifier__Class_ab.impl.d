@@ -1,0 +1,1 @@
+lib/amplifier/class_ab.ml: Circuit Float Layout List Macro Process String

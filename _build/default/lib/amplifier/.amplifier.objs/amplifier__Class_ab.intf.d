@@ -1,0 +1,1 @@
+lib/amplifier/class_ab.mli: Circuit Macro Process

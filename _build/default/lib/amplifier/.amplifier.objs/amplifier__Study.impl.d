@@ -1,0 +1,1 @@
+lib/amplifier/study.ml: Circuit Class_ab Core Fault List Macro Process Util

@@ -1,0 +1,1 @@
+lib/amplifier/study.mli: Class_ab Core Fault Util

@@ -1,0 +1,179 @@
+
+let sized (s : Process.Variation.sample) polarity w =
+  let base, shift =
+    match (polarity : Circuit.Mos_model.polarity) with
+    | Circuit.Mos_model.Nmos ->
+      Circuit.Mos_model.default_nmos, s.Process.Variation.vth_n_shift
+    | Circuit.Mos_model.Pmos ->
+      Circuit.Mos_model.default_pmos, s.Process.Variation.vth_p_shift
+  in
+  {
+    Circuit.Netlist.polarity;
+    params =
+      {
+        base with
+        Circuit.Mos_model.vth = base.Circuit.Mos_model.vth +. shift;
+        kp = base.Circuit.Mos_model.kp *. s.Process.Variation.beta_factor;
+      };
+    w;
+    l = 1e-6;
+  }
+
+(* Two-stage Miller amplifier: PMOS pair into an NMOS mirror; the second
+   stage is a complementary push-pull follower (class-AB output with a
+   small crossover region), Miller-compensated back to the first-stage
+   output. The bias branch is a diode-connected PMOS with a degeneration
+   resistor, giving the tail current source its gate line [biasp]. *)
+let add_macro_devices (s : Process.Variation.sample) nl =
+  let n name = Circuit.Netlist.node nl name in
+  let gnd = Circuit.Netlist.ground in
+  let vdd = n "vdd" in
+  let pm = sized s Circuit.Mos_model.Pmos and nm = sized s Circuit.Mos_model.Nmos in
+  let add name ~d ~g ~src ~b spec =
+    Circuit.Netlist.add_mosfet nl ~name ~drain:d ~gate:g ~source:src ~bulk:b spec
+  in
+  (* Bias branch. *)
+  add "MBIAS" ~d:(n "biasp") ~g:(n "biasp") ~src:vdd ~b:vdd (pm 20e-6);
+  Circuit.Netlist.add_resistor nl ~name:"RBIAS" (n "biasp") gnd
+    (48_000.0 *. s.Process.Variation.resistance_factor);
+  (* First stage. *)
+  add "MTAIL" ~d:(n "tailp") ~g:(n "biasp") ~src:vdd ~b:vdd (pm 20e-6);
+  add "M1" ~d:(n "o1m") ~g:(n "inp") ~src:(n "tailp") ~b:vdd (pm 15e-6);
+  add "M2" ~d:(n "o1") ~g:(n "inn") ~src:(n "tailp") ~b:vdd (pm 15e-6);
+  add "M3" ~d:(n "o1m") ~g:(n "o1m") ~src:gnd ~b:gnd (nm 8e-6);
+  add "M4" ~d:(n "o1") ~g:(n "o1m") ~src:gnd ~b:gnd (nm 8e-6);
+  (* Class-AB push-pull output followers. *)
+  add "M6" ~d:vdd ~g:(n "o1") ~src:(n "out") ~b:gnd (nm 30e-6);
+  add "M7" ~d:gnd ~g:(n "o1") ~src:(n "out") ~b:vdd (pm 60e-6);
+  (* Miller compensation. *)
+  Circuit.Netlist.add_capacitor nl ~name:"CC" (n "o1") (n "out")
+    (2e-12 *. s.Process.Variation.capacitance_factor)
+
+let layout_netlist () =
+  let nl = Circuit.Netlist.create () in
+  add_macro_devices (Process.Variation.nominal Process.Tech.cmos1um) nl;
+  nl
+
+let bench_netlist (s : Process.Variation.sample) =
+  let nl = Circuit.Netlist.create () in
+  add_macro_devices s nl;
+  let n name = Circuit.Netlist.node nl name in
+  let gnd = Circuit.Netlist.ground in
+  Circuit.Netlist.add_vsource nl ~name:"VDDA" ~pos:(n "vdd") ~neg:gnd
+    (Circuit.Waveform.dc s.Process.Variation.vdd);
+  Circuit.Netlist.add_vsource nl ~name:"VINP" ~pos:(n "inp") ~neg:gnd
+    (Circuit.Waveform.dc 2.5);
+  (* Unity-gain feedback: a wire-resistance link keeps the [inn] net (and
+     its fault vocabulary) distinct from [out]. *)
+  Circuit.Netlist.add_resistor nl ~name:"RFB" (n "out") (n "inn") 1.0;
+  (* Load of the follower. *)
+  Circuit.Netlist.add_resistor nl ~name:"RLOAD" (n "out") gnd 100_000.0;
+  Circuit.Netlist.add_capacitor nl ~name:"CLOAD" (n "out") gnd 10e-12;
+  nl
+
+let set_vinp nl v =
+  let inp = Circuit.Netlist.node nl "inp" in
+  Circuit.Netlist.remove_device nl "VINP";
+  Circuit.Netlist.add_vsource nl ~name:"VINP" ~pos:inp
+    ~neg:Circuit.Netlist.ground v
+
+let measure nl =
+  (* DC tracking at three input levels, quiescent and input currents at
+     mid scale. *)
+  let dc_point v =
+    let nl = Circuit.Netlist.copy nl in
+    set_vinp nl (Circuit.Waveform.dc v);
+    let sol = Circuit.Engine.dc_operating_point nl in
+    sol, nl
+  in
+  let sol_lo, nl_lo = dc_point 1.5 in
+  let sol_mid, nl_mid = dc_point 2.5 in
+  let sol_hi, nl_hi = dc_point 3.5 in
+  let out sol nl = Circuit.Engine.voltage sol (Circuit.Netlist.node nl "out") in
+  (* Transient: a 1 V step at 1 us; slewing and settled values. *)
+  let nl_tr = Circuit.Netlist.copy nl in
+  set_vinp nl_tr
+    (Circuit.Waveform.pwl [ 0.0, 2.0; 1e-6, 2.0; 1.01e-6, 3.0; 4e-6, 3.0 ]);
+  let sols = Circuit.Engine.transient nl_tr ~stop:3e-6 ~step:10e-9 in
+  let at t =
+    List.nth sols (min (int_of_float (t /. 10e-9)) (List.length sols - 1))
+  in
+  let v_tr t = Circuit.Engine.voltage (at t) (Circuit.Netlist.node nl_tr "out") in
+  (* AC: closed-loop magnitude in the passband and near the corner. *)
+  let nl_ac = Circuit.Netlist.copy nl in
+  let ac =
+    Circuit.Engine.ac_sweep nl_ac ~source:"VINP" ~frequencies:[ 1e4; 1e7 ]
+  in
+  let ac_db f =
+    match List.assoc_opt f (List.map (fun (freq, sol) -> freq, sol) ac) with
+    | Some sol ->
+      Circuit.Engine.ac_magnitude_db sol (Circuit.Netlist.node nl_ac "out")
+    | None -> nan
+  in
+  [
+    "v:dc:track:lo", out sol_lo nl_lo -. 1.5;
+    "v:dc:track:mid", out sol_mid nl_mid -. 2.5;
+    "v:dc:track:hi", out sol_hi nl_hi -. 3.5;
+    "v:tr:slew", v_tr 1.1e-6;
+    "v:tr:settle", v_tr 2.9e-6;
+    "v:ac:pass", ac_db 1e4;
+    "v:ac:corner", ac_db 1e7;
+    "ivdd:q", Circuit.Engine.source_current sol_mid "VDDA";
+    "iin:inp", Circuit.Engine.source_current sol_mid "VINP";
+  ]
+
+let classify_voltage ~golden ~faulty =
+  let dev name =
+    match
+      Macro.Macro_cell.get_opt golden name, Macro.Macro_cell.get_opt faulty name
+    with
+    | Some g, Some f -> Float.abs (f -. g)
+    | (None | Some _), _ -> 0.0
+  in
+  let worst_dc =
+    Float.max (dev "v:dc:track:lo")
+      (Float.max (dev "v:dc:track:mid") (dev "v:dc:track:hi"))
+  in
+  if worst_dc > 1.0 then Macro.Signature.Output_stuck_at
+  else if worst_dc > 0.01 then Macro.Signature.Offset_too_large
+  else Macro.Signature.No_voltage_deviation
+
+let macro () =
+  {
+    Macro.Macro_cell.name = "class-AB amplifier";
+    build = bench_netlist;
+    cell =
+      lazy
+        (Layout.Synthesize.synthesize
+           ~options:
+             {
+               Layout.Synthesize.default_options with
+               track_order = [ "inp"; "inn"; "out"; "biasp"; "vdd"; "0" ];
+             }
+           (layout_netlist ()) ~name:"class_ab");
+    measure;
+    classify_voltage;
+    instances = 1;
+  }
+
+type family = Dc | Transient | Ac | Current
+
+let family_name = function
+  | Dc -> "DC"
+  | Transient -> "transient"
+  | Ac -> "AC"
+  | Current -> "current"
+
+let all_families = [ Dc; Transient; Ac; Current ]
+
+let prefixed prefix name =
+  String.length name >= String.length prefix
+  && String.sub name 0 (String.length prefix) = prefix
+
+let family_of_measurement name =
+  if prefixed "v:dc:" name then Some Dc
+  else if prefixed "v:tr:" name then Some Transient
+  else if prefixed "v:ac:" name then Some Ac
+  else if Macro.Signature.current_kind_of_measurement name <> None then
+    Some Current
+  else None

@@ -1,0 +1,43 @@
+(** The Class-AB amplifier case study.
+
+    The paper builds on Sachdev's earlier silicon demonstration (its
+    ref. [6]): most process defects in a Class AB amplifier are detectable
+    with simple DC, transient and AC measurements. This library module
+    reproduces that study with the same defect-oriented machinery used
+    for the flash ADC.
+
+    The amplifier: a two-stage CMOS opamp — PMOS differential pair into
+    an NMOS mirror, Miller-compensated class-AB push-pull output stage —
+    measured in unity-gain follower configuration. The measurement plan
+    covers the three simple test domains:
+
+    - {b DC}: follower tracking error at three input levels, quiescent
+      supply current, input terminal current;
+    - {b transient}: a 1 V step — slewing value shortly after the edge
+      and the settled value;
+    - {b AC}: closed-loop magnitude in the passband and near the
+      closed-loop corner.
+
+    All of these are named measurements, so the good-signature machinery
+    and the current-domain classification are inherited unchanged. *)
+
+(** Netlist of the amplifier alone — the layout view. *)
+val layout_netlist : unit -> Circuit.Netlist.t
+
+(** Amplifier in follower configuration with its test bench. *)
+val bench_netlist : Process.Variation.sample -> Circuit.Netlist.t
+
+(** The macro-cell bundle. *)
+val macro : unit -> Macro.Macro_cell.t
+
+(** The measurement families of the study, with the measurement-name
+    prefix that selects each: DC, transient, AC, and the supply/input
+    currents. *)
+type family = Dc | Transient | Ac | Current
+
+val family_name : family -> string
+val all_families : family list
+
+(** [family_of_measurement name] — which family a measurement belongs
+    to. *)
+val family_of_measurement : string -> family option

@@ -1,0 +1,98 @@
+type fault_report = {
+  fault_class : Fault.Collapse.fault_class;
+  families : Class_ab.family list;
+}
+
+type result = {
+  analysis : Core.Pipeline.macro_analysis;
+  reports : fault_report list;
+}
+
+let families_of_deviations names =
+  List.filter_map Class_ab.family_of_measurement names
+  |> List.sort_uniq compare
+  |> fun found -> List.filter (fun f -> List.mem f found) Class_ab.all_families
+
+let run ?(config = Core.Pipeline.default_config) () =
+  let macro = Class_ab.macro () in
+  let analysis = Core.Pipeline.analyze config macro in
+  let nominal =
+    macro.Macro.Macro_cell.build (Process.Variation.nominal config.tech)
+  in
+  let report fc =
+    let faulty =
+      Fault.Inject.inject_instance nominal fc.Fault.Collapse.representative
+    in
+    let families =
+      match macro.Macro.Macro_cell.measure faulty with
+      | vector ->
+        families_of_deviations
+          (Macro.Good_space.deviating analysis.Core.Pipeline.good vector)
+      | exception Circuit.Engine.No_convergence _ ->
+        (* Gross defect: every family sees it. *)
+        Class_ab.all_families
+    in
+    { fault_class = fc; families }
+  in
+  { analysis; reports = List.map report analysis.classes_catastrophic }
+
+let total_weight reports =
+  float_of_int
+    (max 1
+       (List.fold_left
+          (fun acc r -> acc + r.fault_class.Fault.Collapse.count)
+          0 reports))
+
+let share_where result pred =
+  let weight =
+    List.fold_left
+      (fun acc r ->
+        if pred r then acc + r.fault_class.Fault.Collapse.count else acc)
+      0 result.reports
+  in
+  float_of_int weight /. total_weight result.reports
+
+let family_coverage result =
+  List.map
+    (fun family ->
+      family, share_where result (fun r -> List.mem family r.families))
+    Class_ab.all_families
+
+let coverage result = share_where result (fun r -> r.families <> [])
+
+let exclusive_coverage result =
+  List.map
+    (fun family ->
+      family, share_where result (fun r -> r.families = [ family ]))
+    Class_ab.all_families
+
+let report_table result =
+  let t =
+    Util.Table.create
+      ~columns:
+        [
+          "test family", Util.Table.Left;
+          "detects", Util.Table.Right;
+          "only this family", Util.Table.Right;
+        ]
+  in
+  List.iter2
+    (fun (family, total) (_, exclusive) ->
+      Util.Table.add_row t
+        [
+          Class_ab.family_name family;
+          Util.Table.cell_pct (100. *. total);
+          Util.Table.cell_pct (100. *. exclusive);
+        ])
+    (family_coverage result)
+    (exclusive_coverage result);
+  Util.Table.add_separator t;
+  Util.Table.add_row t
+    [ "combined"; Util.Table.cell_pct (100. *. coverage result); "" ];
+  Util.Table.add_row t
+    [
+      "escapes";
+      Util.Table.cell_pct (100. *. (1.0 -. coverage result));
+      "";
+    ];
+  t

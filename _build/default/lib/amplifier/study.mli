@@ -1,0 +1,34 @@
+(** The amplifier defect study: which simple test family catches what.
+
+    Reproduces the structure of the paper's reference experiment (its
+    ref. [6]): sprinkle defects on the amplifier, collapse, fault-simulate
+    every class, and tabulate detection per measurement family — DC,
+    transient, AC and current — plus the combined coverage and the
+    escapes. A fault is detected by a family when at least one of that
+    family's measurements leaves its good-space window. *)
+
+type fault_report = {
+  fault_class : Fault.Collapse.fault_class;
+  families : Class_ab.family list;  (** families that detect it *)
+}
+
+type result = {
+  analysis : Core.Pipeline.macro_analysis;
+  reports : fault_report list;  (** catastrophic classes, pipeline order *)
+}
+
+(** [run ?config ()] — the full study (defaults to
+    {!Core.Pipeline.default_config}). *)
+val run : ?config:Core.Pipeline.config -> unit -> result
+
+(** Magnitude-weighted share of faults each family detects. *)
+val family_coverage : result -> (Class_ab.family * float) list
+
+(** Share caught by at least one family. *)
+val coverage : result -> float
+
+(** Share caught by exactly one family (and which). *)
+val exclusive_coverage : result -> (Class_ab.family * float) list
+
+(** Render the study as a table: per-family, exclusive, combined. *)
+val report_table : result -> Util.Table.t

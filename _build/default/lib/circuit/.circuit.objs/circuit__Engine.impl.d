@@ -1,0 +1,1 @@
+lib/circuit/engine.ml: Array Complex Float Hashtbl Linear Linear_complex List Mos_model Netlist Printf Waveform

@@ -1,0 +1,1 @@
+lib/circuit/engine.mli: Complex Netlist

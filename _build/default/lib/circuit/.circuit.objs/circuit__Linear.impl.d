@@ -1,0 +1,1 @@
+lib/circuit/linear.ml: Array Float

@@ -1,0 +1,1 @@
+lib/circuit/linear_complex.ml: Array Complex Float

@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Float Format Fun Hashtbl List Mos_model Printf String Waveform

@@ -1,0 +1,1 @@
+lib/circuit/spice.ml: Buffer Char Format List Mos_model Netlist Printf Result String Waveform

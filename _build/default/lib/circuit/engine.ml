@@ -1,0 +1,423 @@
+exception No_convergence of string
+
+type options = {
+  gmin : float;
+  abstol : float;
+  vntol : float;
+  reltol : float;
+  max_iterations : int;
+  max_step_voltage : float;
+}
+
+let default_options =
+  {
+    gmin = 1e-12;
+    abstol = 1e-10;
+    vntol = 1e-6;
+    reltol = 1e-4;
+    max_iterations = 150;
+    max_step_voltage = 0.5;
+  }
+
+(* --- compiled netlist ------------------------------------------------ *)
+
+type cdevice =
+  | CResistor of int * int * float
+  | CCapacitor of int * int * float
+  | CVsource of { pos : int; neg : int; wave : Waveform.t; branch : int }
+  | CIsource of { pos : int; neg : int; wave : Waveform.t }
+  | CMosfet of {
+      d : int;
+      g : int;
+      s : int;
+      spec : Netlist.mosfet_spec;
+    }
+
+type compiled = {
+  n_nodes : int;           (* non-ground nodes: indices 1..n_nodes *)
+  n_unknowns : int;        (* nodes + vsource branches *)
+  cdevices : cdevice list;
+  branch_of_source : (string, int) Hashtbl.t;
+}
+
+let compile netlist =
+  let n_nodes = Netlist.node_count netlist in
+  let branch_of_source = Hashtbl.create 8 in
+  let next_branch = ref n_nodes in
+  let compile_device (dv : Netlist.device_view) =
+    let pin role = Netlist.index_of_node (List.assoc role dv.pin_nodes) in
+    match dv.kind with
+    | Netlist.Resistor r -> CResistor (pin "+", pin "-", r)
+    | Netlist.Capacitor c -> CCapacitor (pin "+", pin "-", c)
+    | Netlist.Vsource wave ->
+      let branch = !next_branch in
+      incr next_branch;
+      Hashtbl.replace branch_of_source dv.dev_name branch;
+      CVsource { pos = pin "+"; neg = pin "-"; wave; branch }
+    | Netlist.Isource wave -> CIsource { pos = pin "+"; neg = pin "-"; wave }
+    | Netlist.Mosfet spec -> CMosfet { d = pin "d"; g = pin "g"; s = pin "s"; spec }
+  in
+  let cdevices = List.map compile_device (Netlist.devices netlist) in
+  { n_nodes; n_unknowns = !next_branch; cdevices; branch_of_source }
+
+(* --- solutions -------------------------------------------------------- *)
+
+type solution = {
+  sol_time : float;
+  x : float array;  (* node voltages then branch currents *)
+  branches : (string, int) Hashtbl.t;
+}
+
+let time sol = sol.sol_time
+
+let voltage sol node =
+  if Netlist.node_equal node Netlist.ground then 0.0
+  else sol.x.(Netlist.index_of_node node - 1)
+
+let source_current sol name =
+  let branch = Hashtbl.find sol.branches name in
+  (* The MNA branch unknown flows from + through the source to -; the
+     current delivered into the circuit from the + terminal is its
+     negation. *)
+  -.sol.x.(branch)
+
+(* --- stamping --------------------------------------------------------- *)
+
+(* Row/column index of a node in the matrix; ground contributes nothing. *)
+let idx node = node - 1
+
+let stamp_conductance a g n1 n2 =
+  if n1 <> 0 then a.(idx n1).(idx n1) <- a.(idx n1).(idx n1) +. g;
+  if n2 <> 0 then a.(idx n2).(idx n2) <- a.(idx n2).(idx n2) +. g;
+  if n1 <> 0 && n2 <> 0 then begin
+    a.(idx n1).(idx n2) <- a.(idx n1).(idx n2) -. g;
+    a.(idx n2).(idx n1) <- a.(idx n2).(idx n1) -. g
+  end
+
+let stamp_current rhs value ~into ~out_of =
+  if into <> 0 then rhs.(idx into) <- rhs.(idx into) +. value;
+  if out_of <> 0 then rhs.(idx out_of) <- rhs.(idx out_of) -. value
+
+(* voltage at a node from the current guess *)
+let v_of x node = if node = 0 then 0.0 else x.(idx node)
+
+type stamp_mode =
+  | Dc_mode
+  | Transient_mode of { h : float; x_prev : float array }
+
+(* Build A·x_new = rhs linearized around guess [x]. [alpha] scales the
+   independent sources (source stepping). *)
+let build ~options ~mode ~alpha ~t compiled x a rhs =
+  let n = compiled.n_unknowns in
+  for i = 0 to n - 1 do
+    rhs.(i) <- 0.0;
+    let row = a.(i) in
+    Array.fill row 0 n 0.0
+  done;
+  (* gmin shunts keep floating nodes (opens) solvable. *)
+  for node = 1 to compiled.n_nodes do
+    a.(idx node).(idx node) <- a.(idx node).(idx node) +. options.gmin
+  done;
+  let stamp_device = function
+    | CResistor (n1, n2, r) -> stamp_conductance a (1.0 /. r) n1 n2
+    | CCapacitor (n1, n2, c) ->
+      (match mode with
+      | Dc_mode -> () (* open in DC *)
+      | Transient_mode { h; x_prev } ->
+        (* Backward-Euler companion: geq in parallel with a current source
+           reproducing the charge history. *)
+        let geq = c /. h in
+        stamp_conductance a geq n1 n2;
+        let v_prev = v_of x_prev n1 -. v_of x_prev n2 in
+        stamp_current rhs (geq *. v_prev) ~into:n1 ~out_of:n2)
+    | CVsource { pos; neg; wave; branch } ->
+      let value = alpha *. Waveform.value wave t in
+      if pos <> 0 then begin
+        a.(idx pos).(branch) <- a.(idx pos).(branch) +. 1.0;
+        a.(branch).(idx pos) <- a.(branch).(idx pos) +. 1.0
+      end;
+      if neg <> 0 then begin
+        a.(idx neg).(branch) <- a.(idx neg).(branch) -. 1.0;
+        a.(branch).(idx neg) <- a.(branch).(idx neg) -. 1.0
+      end;
+      rhs.(branch) <- value
+    | CIsource { pos; neg; wave } ->
+      let value = alpha *. Waveform.value wave t in
+      stamp_current rhs value ~into:pos ~out_of:neg
+    | CMosfet { d; g; s; spec } ->
+      let vgs = v_of x g -. v_of x s in
+      let vds = v_of x d -. v_of x s in
+      let op =
+        Mos_model.evaluate ~polarity:spec.polarity ~params:spec.params
+          ~w:spec.w ~l:spec.l ~vgs ~vds
+      in
+      (* Linearize: id ≈ gm·vgs + gds·vds + ieq. *)
+      let ieq = op.id -. (op.gm *. vgs) -. (op.gds *. vds) in
+      let add r c v = if r <> 0 && c <> 0 then a.(idx r).(idx c) <- a.(idx r).(idx c) +. v in
+      add d d op.gds;
+      add d g op.gm;
+      add d s (-.(op.gm +. op.gds));
+      add s d (-.op.gds);
+      add s g (-.op.gm);
+      add s s (op.gm +. op.gds);
+      stamp_current rhs ieq ~into:s ~out_of:d
+  in
+  List.iter stamp_device compiled.cdevices
+
+(* --- Newton-Raphson --------------------------------------------------- *)
+
+let newton ~options ~mode ~alpha ~t compiled x0 =
+  let n = compiled.n_unknowns in
+  let x = Array.copy x0 in
+  let a = Linear.matrix n in
+  let rhs = Array.make n 0.0 in
+  let rec iterate remaining =
+    if remaining = 0 then None
+    else begin
+      build ~options ~mode ~alpha ~t compiled x a rhs;
+      match Linear.solve a rhs with
+      | exception Linear.Singular -> None
+      | x_new ->
+        (* Damp voltage updates; branch currents move freely. *)
+        let converged = ref true in
+        for i = 0 to n - 1 do
+          let target = x_new.(i) in
+          let delta = target -. x.(i) in
+          let is_voltage = i < compiled.n_nodes in
+          let applied =
+            if is_voltage && Float.abs delta > options.max_step_voltage then begin
+              converged := false;
+              x.(i) +. (if delta > 0. then options.max_step_voltage else -.options.max_step_voltage)
+            end
+            else target
+          in
+          let tol =
+            if is_voltage then options.vntol +. (options.reltol *. Float.abs applied)
+            else options.abstol +. (options.reltol *. Float.abs applied)
+          in
+          if Float.abs (applied -. x.(i)) > tol then converged := false;
+          x.(i) <- applied
+        done;
+        if !converged then Some x else iterate (remaining - 1)
+    end
+  in
+  iterate options.max_iterations
+
+let solve_point ~options ~mode ~t compiled x0 ~what =
+  match newton ~options ~mode ~alpha:1.0 ~t compiled x0 with
+  | Some x -> x
+  | None ->
+    (* gmin stepping: solve heavily shunted, then relax toward gmin. *)
+    let rec gmin_steps x = function
+      | [] -> Some x
+      | g :: rest ->
+        (match newton ~options:{ options with gmin = g } ~mode ~alpha:1.0 ~t compiled x with
+        | Some x' -> gmin_steps x' rest
+        | None -> None)
+    in
+    let schedule = [ 1e-2; 1e-4; 1e-6; 1e-8; 1e-10; options.gmin ] in
+    (match gmin_steps x0 schedule with
+    | Some x -> x
+    | None ->
+      (* Source stepping: ramp all sources from 10 % to 100 %. *)
+      let rec source_steps x = function
+        | [] -> Some x
+        | alpha :: rest ->
+          (match newton ~options ~mode ~alpha ~t compiled x with
+          | Some x' -> source_steps x' rest
+          | None -> None)
+      in
+      let alphas = [ 0.1; 0.3; 0.5; 0.7; 0.9; 1.0 ] in
+      (match source_steps (Array.make compiled.n_unknowns 0.0) alphas with
+      | Some x -> x
+      | None -> raise (No_convergence what)))
+
+(* --- public analyses --------------------------------------------------- *)
+
+let make_solution compiled ~t x =
+  { sol_time = t; x; branches = compiled.branch_of_source }
+
+let dc_operating_point ?(options = default_options) netlist =
+  let compiled = compile netlist in
+  let x0 = Array.make compiled.n_unknowns 0.0 in
+  let x = solve_point ~options ~mode:Dc_mode ~t:0.0 compiled x0 ~what:"dc operating point" in
+  make_solution compiled ~t:0.0 x
+
+let transient ?(options = default_options) netlist ~stop ~step =
+  if step <= 0. || stop < step then invalid_arg "Engine.transient: bad time grid";
+  let compiled = compile netlist in
+  let x0 = Array.make compiled.n_unknowns 0.0 in
+  let x_dc =
+    solve_point ~options ~mode:Dc_mode ~t:0.0 compiled x0 ~what:"transient initial point"
+  in
+  let n_steps = int_of_float (Float.round (stop /. step)) in
+  (* A failed Newton solve at a full step (sharp clock edge, regenerative
+     transition) is retried over recursively halved sub-steps; only when
+     seven levels of halving still fail is the analysis abandoned. *)
+  let rec integrate x_prev ~t_prev ~h ~depth =
+    let t = t_prev +. h in
+    let mode = Transient_mode { h; x_prev } in
+    match
+      solve_point ~options ~mode ~t compiled x_prev
+        ~what:(Printf.sprintf "transient step at t=%.3e" t)
+    with
+    | x -> x
+    | exception No_convergence _ when depth > 0 ->
+      let half = h /. 2.0 in
+      let x_mid = integrate x_prev ~t_prev ~h:half ~depth:(depth - 1) in
+      integrate x_mid ~t_prev:(t_prev +. half) ~h:half ~depth:(depth - 1)
+  in
+  let rec advance i x_prev acc =
+    if i > n_steps then List.rev acc
+    else begin
+      let t_prev = float_of_int (i - 1) *. step in
+      let x = integrate x_prev ~t_prev ~h:step ~depth:7 in
+      let t = float_of_int i *. step in
+      advance (i + 1) x (make_solution compiled ~t x :: acc)
+    end
+  in
+  advance 1 x_dc [ make_solution compiled ~t:0.0 x_dc ]
+
+let dc_sweep ?(options = default_options) netlist ~source ~values =
+  let netlist = Netlist.copy netlist in
+  if not (Netlist.has_device netlist source) then
+    invalid_arg (Printf.sprintf "Engine.dc_sweep: no source %S" source);
+  (* Re-point the named source at each sweep value by rebuilding it. *)
+  let view =
+    match
+      List.find_opt
+        (fun dv -> dv.Netlist.dev_name = source)
+        (Netlist.devices netlist)
+    with
+    | Some v -> v
+    | None -> assert false
+  in
+  let pos = List.assoc "+" view.Netlist.pin_nodes in
+  let neg = List.assoc "-" view.Netlist.pin_nodes in
+  (match view.Netlist.kind with
+  | Netlist.Vsource _ -> ()
+  | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Isource _
+  | Netlist.Mosfet _ ->
+    invalid_arg "Engine.dc_sweep: named device is not a voltage source");
+  let solve_at value seed =
+    Netlist.remove_device netlist source;
+    Netlist.add_vsource netlist ~name:source ~pos ~neg (Waveform.dc value);
+    let compiled = compile netlist in
+    let x =
+      solve_point ~options ~mode:Dc_mode ~t:0.0 compiled seed
+        ~what:(Printf.sprintf "dc sweep %s=%g" source value)
+    in
+    make_solution compiled ~t:0.0 x, x
+  in
+  let compiled0 = compile netlist in
+  let rec sweep values seed acc =
+    match values with
+    | [] -> List.rev acc
+    | v :: rest ->
+      let sol, x = solve_at v seed in
+      sweep rest x (sol :: acc)
+  in
+  sweep values (Array.make compiled0.n_unknowns 0.0) []
+
+(* --- AC small-signal analysis ------------------------------------------ *)
+
+type ac_solution = {
+  ac_freq : float;
+  ac_x : Complex.t array;
+  ac_n_nodes : int;
+}
+
+let ac_frequency sol = sol.ac_freq
+
+let ac_voltage sol node =
+  if Netlist.node_equal node Netlist.ground then Complex.zero
+  else sol.ac_x.(Netlist.index_of_node node - 1)
+
+let ac_magnitude_db sol node =
+  20.0 *. log10 (Float.max 1e-300 (Complex.norm (ac_voltage sol node)))
+
+let ac_phase_deg sol node = Complex.arg (ac_voltage sol node) *. 180.0 /. Float.pi
+
+let decades ~lo ~hi ~per_decade =
+  if lo <= 0. || hi <= lo || per_decade < 1 then
+    invalid_arg "Engine.decades: bad grid";
+  let rec build acc exponent =
+    let f = 10.0 ** exponent in
+    if f > hi *. 1.0000001 then List.rev acc
+    else build (f :: acc) (exponent +. (1.0 /. float_of_int per_decade))
+  in
+  build [] (log10 lo)
+
+let ac_sweep ?(options = default_options) netlist ~source ~frequencies =
+  List.iter
+    (fun f ->
+      if f <= 0. then invalid_arg "Engine.ac_sweep: frequencies must be positive")
+    frequencies;
+  let compiled = compile netlist in
+  if not (Hashtbl.mem compiled.branch_of_source source) then
+    invalid_arg
+      (Printf.sprintf "Engine.ac_sweep: %S is not a voltage source" source);
+  (* Operating point for the linearization. *)
+  let x0 = Array.make compiled.n_unknowns 0.0 in
+  let op =
+    solve_point ~options ~mode:Dc_mode ~t:0.0 compiled x0 ~what:"ac operating point"
+  in
+  let n = compiled.n_unknowns in
+  let re v = { Complex.re = v; im = 0.0 } in
+  let stamp_y a y n1 n2 =
+    if n1 <> 0 then a.(idx n1).(idx n1) <- Complex.add a.(idx n1).(idx n1) y;
+    if n2 <> 0 then a.(idx n2).(idx n2) <- Complex.add a.(idx n2).(idx n2) y;
+    if n1 <> 0 && n2 <> 0 then begin
+      a.(idx n1).(idx n2) <- Complex.sub a.(idx n1).(idx n2) y;
+      a.(idx n2).(idx n1) <- Complex.sub a.(idx n2).(idx n1) y
+    end
+  in
+  let solve_at freq =
+    let a = Linear_complex.matrix n in
+    let rhs = Array.make n Complex.zero in
+    for node = 1 to compiled.n_nodes do
+      a.(idx node).(idx node) <-
+        Complex.add a.(idx node).(idx node) (re options.gmin)
+    done;
+    let omega = 2.0 *. Float.pi *. freq in
+    let stamp_device = function
+      | CResistor (n1, n2, r) -> stamp_y a (re (1.0 /. r)) n1 n2
+      | CCapacitor (n1, n2, c) ->
+        stamp_y a { Complex.re = 0.0; im = omega *. c } n1 n2
+      | CVsource { pos; neg; wave = _; branch } ->
+        if pos <> 0 then begin
+          a.(idx pos).(branch) <- Complex.add a.(idx pos).(branch) Complex.one;
+          a.(branch).(idx pos) <- Complex.add a.(branch).(idx pos) Complex.one
+        end;
+        if neg <> 0 then begin
+          a.(idx neg).(branch) <-
+            Complex.sub a.(idx neg).(branch) Complex.one;
+          a.(branch).(idx neg) <- Complex.sub a.(branch).(idx neg) Complex.one
+        end;
+        rhs.(branch) <-
+          (if branch = Hashtbl.find compiled.branch_of_source source then
+             Complex.one
+           else Complex.zero)
+      | CIsource _ -> () (* AC-quiet *)
+      | CMosfet { d; g; s; spec } ->
+        let vgs = v_of op g -. v_of op s in
+        let vds = v_of op d -. v_of op s in
+        let small =
+          Mos_model.evaluate ~polarity:spec.polarity ~params:spec.params
+            ~w:spec.w ~l:spec.l ~vgs ~vds
+        in
+        let add r c v =
+          if r <> 0 && c <> 0 then a.(idx r).(idx c) <- Complex.add a.(idx r).(idx c) (re v)
+        in
+        add d d small.gds;
+        add d g small.gm;
+        add d s (-.(small.gm +. small.gds));
+        add s d (-.small.gds);
+        add s g (-.small.gm);
+        add s s (small.gm +. small.gds)
+    in
+    List.iter stamp_device compiled.cdevices;
+    let x = Linear_complex.solve a rhs in
+    freq, { ac_freq = freq; ac_x = x; ac_n_nodes = compiled.n_nodes }
+  in
+  List.map solve_at frequencies

@@ -1,0 +1,87 @@
+(** The analog simulation engine: DC operating point and transient.
+
+    Modified nodal analysis with dense LU; nonlinear devices are solved by
+    damped Newton–Raphson with a gmin shunt on every node, gmin stepping
+    and source stepping as fallbacks — the standard SPICE convergence
+    aids, which matter here because injected faults routinely produce
+    floating nodes (opens) and near-shorts. *)
+
+exception No_convergence of string
+
+type options = {
+  gmin : float;        (** shunt conductance from every node to ground *)
+  abstol : float;      (** branch-current convergence floor, A *)
+  vntol : float;       (** node-voltage convergence floor, V *)
+  reltol : float;      (** relative convergence criterion *)
+  max_iterations : int;
+  max_step_voltage : float;  (** Newton damping: max |ΔV| per iteration *)
+}
+
+val default_options : options
+
+(** One solved time point. *)
+type solution
+
+val time : solution -> float
+
+(** [voltage sol node] — node voltage in V. *)
+val voltage : solution -> Netlist.node -> float
+
+(** [source_current sol name] is the current a voltage source delivers
+    from its positive terminal into the circuit (positive when the
+    circuit draws from the source). @raise Not_found for unknown names. *)
+val source_current : solution -> string -> float
+
+(** [dc_operating_point ?options netlist] solves the bias point with
+    sources at their [t = 0] values and capacitors open.
+    @raise No_convergence when all fallbacks fail. *)
+val dc_operating_point : ?options:options -> Netlist.t -> solution
+
+(** [transient ?options netlist ~stop ~step] integrates from 0 to [stop]
+    with fixed step [step] (backward Euler), returning the DC point at
+    [t = 0] followed by every accepted step in time order. *)
+val transient :
+  ?options:options -> Netlist.t -> stop:float -> step:float -> solution list
+
+(** [dc_sweep ?options netlist ~source ~values] re-solves the operating
+    point for each value of the named voltage source (in order), seeding
+    each solve with the previous solution. *)
+val dc_sweep :
+  ?options:options ->
+  Netlist.t -> source:string -> values:float list -> solution list
+
+(** {1 AC small-signal analysis}
+
+    The circuit is linearized at its DC operating point (MOSFETs become
+    gm/gds conductances, capacitors jωC admittances) and the complex MNA
+    system is solved per frequency with unit AC excitation on one named
+    voltage source. This is the third leg of the paper's simple test
+    repertoire (DC, transient and AC measurements). *)
+
+type ac_solution
+
+val ac_frequency : ac_solution -> float
+
+(** Complex node voltage (phasor) for 1 V AC at the excitation source. *)
+val ac_voltage : ac_solution -> Netlist.node -> Complex.t
+
+(** Gain magnitude in dB relative to the 1 V excitation. *)
+val ac_magnitude_db : ac_solution -> Netlist.node -> float
+
+(** Phase in degrees, in (-180, 180]. *)
+val ac_phase_deg : ac_solution -> Netlist.node -> float
+
+(** [ac_sweep ?options netlist ~source ~frequencies] — [source] must name
+    a voltage source; it is excited with 1 V AC while every other source
+    is AC-quiet. Frequencies in Hz, each must be positive.
+    @raise Invalid_argument on an unknown or non-voltage source. *)
+val ac_sweep :
+  ?options:options ->
+  Netlist.t ->
+  source:string ->
+  frequencies:float list ->
+  (float * ac_solution) list
+
+(** [decades ~lo ~hi ~per_decade] — logarithmically spaced frequency grid
+    from [lo] to [hi] inclusive. *)
+val decades : lo:float -> hi:float -> per_decade:int -> float list

@@ -1,0 +1,22 @@
+(** Dense linear algebra for MNA systems.
+
+    Circuits in this library are macro cells of a few dozen nodes, so a
+    dense LU with partial pivoting beats any sparse machinery both in
+    speed and in simplicity. Matrices are row-major [float array array]. *)
+
+exception Singular
+
+(** [solve a b] solves [a · x = b], overwriting both [a] (with its LU
+    factors) and [b] (with the solution), and returns [b].
+    @raise Singular when pivoting finds no usable pivot.
+    @raise Invalid_argument on shape mismatch. *)
+val solve : float array array -> float array -> float array
+
+(** [solve_copy a b] is [solve] on copies, leaving inputs untouched. *)
+val solve_copy : float array array -> float array -> float array
+
+(** [matrix n] is a fresh n×n zero matrix. *)
+val matrix : int -> float array array
+
+(** [residual a x b] is the max-norm of [a·x - b]; for tests. *)
+val residual : float array array -> float array -> float array -> float

@@ -1,0 +1,20 @@
+(** Dense complex linear algebra for AC (small-signal) analysis.
+
+    Same algorithm as {!Linear} — LU with partial pivoting — over
+    [Complex.t]. Matrices are row-major [Complex.t array array]. *)
+
+exception Singular
+
+(** [solve a b] solves [a · x = b] in place and returns [b].
+    @raise Singular when no usable pivot exists.
+    @raise Invalid_argument on shape mismatch. *)
+val solve : Complex.t array array -> Complex.t array -> Complex.t array
+
+(** [solve_copy a b] leaves the inputs untouched. *)
+val solve_copy : Complex.t array array -> Complex.t array -> Complex.t array
+
+(** [matrix n] is a fresh n×n zero matrix. *)
+val matrix : int -> Complex.t array array
+
+(** [residual a x b] is the max modulus of [a·x - b]. *)
+val residual : Complex.t array array -> Complex.t array -> Complex.t array -> float

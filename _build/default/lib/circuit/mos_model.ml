@@ -1,0 +1,68 @@
+type polarity = Nmos | Pmos
+
+type params = { vth : float; kp : float; lambda : float }
+
+let default_nmos = { vth = 0.80; kp = 90e-6; lambda = 0.03 }
+let default_pmos = { vth = 0.90; kp = 30e-6; lambda = 0.03 }
+
+type operating_point = { id : float; gm : float; gds : float }
+
+(* Square-law NMOS with vds >= 0 assumed. *)
+let nmos_forward params ~w ~l ~vgs ~vds =
+  let beta = params.kp *. w /. l in
+  let vgst = vgs -. params.vth in
+  if vgst <= 0. then { id = 0.; gm = 0.; gds = 0. }
+  else if vds < vgst then begin
+    (* Triode. *)
+    let clm = 1. +. (params.lambda *. vds) in
+    let core = (vgst *. vds) -. (0.5 *. vds *. vds) in
+    {
+      id = beta *. core *. clm;
+      gm = beta *. vds *. clm;
+      gds = beta *. (((vgst -. vds) *. clm) +. (params.lambda *. core));
+    }
+  end
+  else begin
+    (* Saturation. *)
+    let clm = 1. +. (params.lambda *. vds) in
+    let core = 0.5 *. vgst *. vgst in
+    {
+      id = beta *. core *. clm;
+      gm = beta *. vgst *. clm;
+      gds = beta *. params.lambda *. core;
+    }
+  end
+
+(* Handle drain/source symmetry: for vds < 0 the physical source and drain
+   exchange roles. The returned derivatives are with respect to the
+   original vgs/vds, obtained by the chain rule on
+   Id(vgs, vds) = -Id'(vgs - vds, -vds). *)
+let nmos_symmetric params ~w ~l ~vgs ~vds =
+  if vds >= 0. then nmos_forward params ~w ~l ~vgs ~vds
+  else begin
+    let swapped = nmos_forward params ~w ~l ~vgs:(vgs -. vds) ~vds:(-.vds) in
+    {
+      id = -.swapped.id;
+      gm = -.swapped.gm;
+      gds = swapped.gm +. swapped.gds;
+    }
+  end
+
+(* PMOS mirrors NMOS: Id_p(vgs, vds) = -Id_n(-vgs, -vds); both derivative
+   signs cancel, so gm and gds carry over unchanged. *)
+let evaluate ~polarity ~params ~w ~l ~vgs ~vds =
+  match polarity with
+  | Nmos -> nmos_symmetric params ~w ~l ~vgs ~vds
+  | Pmos ->
+    let mirrored = nmos_symmetric params ~w ~l ~vgs:(-.vgs) ~vds:(-.vds) in
+    { id = -.mirrored.id; gm = mirrored.gm; gds = mirrored.gds }
+
+type region = Cutoff | Triode | Saturation
+
+let region ~polarity ~params ~vgs ~vds =
+  let vgs, vds =
+    match polarity with Nmos -> vgs, vds | Pmos -> -.vgs, -.vds
+  in
+  let vgs, vds = if vds >= 0. then vgs, vds else vgs -. vds, -.vds in
+  let vgst = vgs -. params.vth in
+  if vgst <= 0. then Cutoff else if vds < vgst then Triode else Saturation

@@ -1,0 +1,45 @@
+(** Level-1 (Shichman–Hodges) MOSFET model.
+
+    Sufficient for the qualitative fault signatures the methodology
+    classifies (stuck-at, offset, current deviation): square-law drain
+    current with channel-length modulation, symmetric in drain/source.
+    Parameters are per-polarity; variation (Vth shift, β factor) is
+    applied when a netlist is instantiated. *)
+
+type polarity = Nmos | Pmos
+
+type params = {
+  vth : float;      (** threshold voltage, V (positive for both polarities) *)
+  kp : float;       (** process transconductance µCox, A/V² *)
+  lambda : float;   (** channel-length modulation, 1/V *)
+}
+
+(** Default 1 µm process devices: NMOS Vth 0.8 V, KP 90 µA/V²;
+    PMOS Vth 0.9 V, KP 30 µA/V²; λ = 0.03 V⁻¹. *)
+val default_nmos : params
+
+val default_pmos : params
+
+(** Linearized operating point of a device for MNA stamping. All values
+    use drain-to-source conventions of the *reported* terminal order (the
+    model handles internal drain/source swap for negative Vds). *)
+type operating_point = {
+  id : float;   (** drain current, A, positive into the drain for NMOS *)
+  gm : float;   (** ∂Id/∂Vgs *)
+  gds : float;  (** ∂Id/∂Vds *)
+}
+
+(** [evaluate ~polarity ~params ~w ~l ~vgs ~vds] computes the DC current
+    and small-signal derivatives. [w]/[l] in metres. For PMOS, pass the
+    actual (negative-leaning) [vgs]/[vds]; the model mirrors internally
+    and returns [id] with the convention that a conducting PMOS has
+    negative drain current. *)
+val evaluate :
+  polarity:polarity -> params:params -> w:float -> l:float ->
+  vgs:float -> vds:float -> operating_point
+
+(** Region report for tests and debugging. *)
+type region = Cutoff | Triode | Saturation
+
+val region :
+  polarity:polarity -> params:params -> vgs:float -> vds:float -> region

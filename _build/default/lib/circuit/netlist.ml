@@ -1,0 +1,207 @@
+type node = int
+
+let ground = 0
+
+type mosfet_spec = {
+  polarity : Mos_model.polarity;
+  params : Mos_model.params;
+  w : float;
+  l : float;
+}
+
+type device_kind =
+  | Resistor of float
+  | Capacitor of float
+  | Vsource of Waveform.t
+  | Isource of Waveform.t
+  | Mosfet of mosfet_spec
+
+type device = {
+  name : string;
+  kind : device_kind;
+  roles : string array;
+  pins : node array;  (* mutable cells, parallel to roles *)
+}
+
+type t = {
+  node_ids : (string, node) Hashtbl.t;
+  mutable node_names : string list;  (* reverse creation order, excl. ground *)
+  mutable next_node : int;
+  device_table : (string, device) Hashtbl.t;
+  mutable device_order : string list;  (* reverse insertion order *)
+  mutable fresh_counter : int;
+}
+
+let create () =
+  let node_ids = Hashtbl.create 64 in
+  Hashtbl.replace node_ids "0" ground;
+  {
+    node_ids;
+    node_names = [];
+    next_node = 1;
+    device_table = Hashtbl.create 64;
+    device_order = [];
+    fresh_counter = 0;
+  }
+
+let node t name =
+  if name = "0" then invalid_arg "Netlist.node: \"0\" is reserved for ground";
+  match Hashtbl.find_opt t.node_ids name with
+  | Some id -> id
+  | None ->
+    let id = t.next_node in
+    t.next_node <- id + 1;
+    Hashtbl.replace t.node_ids name id;
+    t.node_names <- name :: t.node_names;
+    id
+
+let fresh_node t prefix =
+  let rec pick () =
+    t.fresh_counter <- t.fresh_counter + 1;
+    let name = Printf.sprintf "%s~%d" prefix t.fresh_counter in
+    if Hashtbl.mem t.node_ids name then pick () else name
+  in
+  node t (pick ())
+
+let find_node t name = Hashtbl.find_opt t.node_ids name
+
+let node_name t id =
+  if id = ground then "0"
+  else begin
+    let found = ref None in
+    Hashtbl.iter (fun name i -> if i = id then found := Some name) t.node_ids;
+    match !found with
+    | Some name -> name
+    | None -> invalid_arg "Netlist.node_name: unknown node"
+  end
+
+let nodes t = List.rev_map (Hashtbl.find t.node_ids) t.node_names
+let node_count t = t.next_node - 1
+let node_equal (a : node) b = a = b
+
+let add_device t name kind roles pins =
+  if Hashtbl.mem t.device_table name then
+    invalid_arg (Printf.sprintf "Netlist: duplicate device %S" name);
+  Hashtbl.replace t.device_table name { name; kind; roles; pins };
+  t.device_order <- name :: t.device_order
+
+let check_positive what v =
+  if v <= 0. || not (Float.is_finite v) then
+    invalid_arg (Printf.sprintf "Netlist: %s must be positive and finite" what)
+
+let add_resistor t ~name n1 n2 r =
+  check_positive "resistance" r;
+  add_device t name (Resistor r) [| "+"; "-" |] [| n1; n2 |]
+
+let add_capacitor t ~name n1 n2 c =
+  check_positive "capacitance" c;
+  add_device t name (Capacitor c) [| "+"; "-" |] [| n1; n2 |]
+
+let add_vsource t ~name ~pos ~neg wave =
+  add_device t name (Vsource wave) [| "+"; "-" |] [| pos; neg |]
+
+let add_isource t ~name ~pos ~neg wave =
+  add_device t name (Isource wave) [| "+"; "-" |] [| pos; neg |]
+
+let add_mosfet t ~name ~drain ~gate ~source ~bulk spec =
+  check_positive "width" spec.w;
+  check_positive "length" spec.l;
+  add_device t name (Mosfet spec) [| "d"; "g"; "s"; "b" |]
+    [| drain; gate; source; bulk |]
+
+type pin = { device : string; role : string }
+
+let device_names t = List.rev t.device_order
+let has_device t name = Hashtbl.mem t.device_table name
+let device_count t = Hashtbl.length t.device_table
+
+let pins_of_node t n =
+  List.rev t.device_order
+  |> List.concat_map (fun dev_name ->
+         let d = Hashtbl.find t.device_table dev_name in
+         Array.to_list
+           (Array.mapi
+              (fun i role ->
+                if d.pins.(i) = n then Some { device = dev_name; role }
+                else None)
+              d.roles)
+         |> List.filter_map Fun.id)
+
+let role_index d role =
+  let rec scan i =
+    if i >= Array.length d.roles then raise Not_found
+    else if d.roles.(i) = role then i
+    else scan (i + 1)
+  in
+  scan 0
+
+let pin_node t pin =
+  match Hashtbl.find_opt t.device_table pin.device with
+  | None -> raise Not_found
+  | Some d -> d.pins.(role_index d pin.role)
+
+let reconnect t pin n =
+  match Hashtbl.find_opt t.device_table pin.device with
+  | None -> raise Not_found
+  | Some d -> d.pins.(role_index d pin.role) <- n
+
+let remove_device t name =
+  if not (Hashtbl.mem t.device_table name) then raise Not_found;
+  Hashtbl.remove t.device_table name;
+  t.device_order <- List.filter (fun n -> n <> name) t.device_order
+
+let copy t =
+  let device_table = Hashtbl.create (Hashtbl.length t.device_table) in
+  Hashtbl.iter
+    (fun name d ->
+      Hashtbl.replace device_table name
+        { d with pins = Array.copy d.pins; roles = Array.copy d.roles })
+    t.device_table;
+  {
+    node_ids = Hashtbl.copy t.node_ids;
+    node_names = t.node_names;
+    next_node = t.next_node;
+    device_table;
+    device_order = t.device_order;
+    fresh_counter = t.fresh_counter;
+  }
+
+type device_view = {
+  dev_name : string;
+  kind : device_kind;
+  pin_nodes : (string * node) list;
+}
+
+let devices t =
+  List.rev t.device_order
+  |> List.map (fun name ->
+         let d = Hashtbl.find t.device_table name in
+         {
+           dev_name = name;
+           kind = d.kind;
+           pin_nodes =
+             Array.to_list (Array.mapi (fun i role -> role, d.pins.(i)) d.roles);
+         })
+
+let index_of_node n = n
+
+let pp ppf t =
+  Format.fprintf ppf "netlist: %d nodes, %d devices@." (node_count t)
+    (device_count t);
+  List.iter
+    (fun dv ->
+      let pins =
+        String.concat " "
+          (List.map (fun (r, n) -> Printf.sprintf "%s=%d" r n) dv.pin_nodes)
+      in
+      let kind =
+        match dv.kind with
+        | Resistor r -> Printf.sprintf "R %g" r
+        | Capacitor c -> Printf.sprintf "C %g" c
+        | Vsource _ -> "V"
+        | Isource _ -> "I"
+        | Mosfet spec ->
+          (match spec.polarity with Mos_model.Nmos -> "NMOS" | Mos_model.Pmos -> "PMOS")
+      in
+      Format.fprintf ppf "  %-12s %-6s %s@." dv.dev_name kind pins)
+    (devices t)

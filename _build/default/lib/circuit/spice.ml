@@ -1,0 +1,340 @@
+(* SPICE netlist subset: tokenizing line-based parser and a printer.
+
+   The parser is two-pass: .MODEL cards are collected first so MOSFET
+   lines can reference models defined later in the file, as SPICE
+   allows. *)
+
+let engineering_value text =
+  (* 10k, 2.5MEG, 100n, 1e-12, 4.7 … *)
+  let lower = String.lowercase_ascii (String.trim text) in
+  let split_suffix () =
+    let is_unit_char c = (c >= 'a' && c <= 'z') || c = '%' in
+    let n = String.length lower in
+    let rec boundary i =
+      if i > 0 && is_unit_char lower.[i - 1] then boundary (i - 1) else i
+    in
+    let b = boundary n in
+    String.sub lower 0 b, String.sub lower b (n - b)
+  in
+  let digits, suffix = split_suffix () in
+  let multiplier =
+    match suffix with
+    | "" -> Some 1.0
+    | "f" -> Some 1e-15
+    | "p" -> Some 1e-12
+    | "n" -> Some 1e-9
+    | "u" -> Some 1e-6
+    | "m" -> Some 1e-3
+    | "k" -> Some 1e3
+    | "meg" -> Some 1e6
+    | "g" -> Some 1e9
+    | _ -> None
+  in
+  match multiplier, float_of_string_opt digits with
+  | Some m, Some v -> Some (v *. m)
+  | (None | Some _), _ -> None
+
+type model = { polarity : Mos_model.polarity; params : Mos_model.params }
+
+let error ~line fmt =
+  Format.kasprintf (fun message -> Error (Printf.sprintf "line %d: %s" line message)) fmt
+
+(* Split a card into tokens; parentheses and '=' become separators kept
+   out of the tokens, commas are whitespace. *)
+let tokenize card =
+  let buffer = Buffer.create 16 in
+  let tokens = ref [] in
+  let flush () =
+    if Buffer.length buffer > 0 then begin
+      tokens := Buffer.contents buffer :: !tokens;
+      Buffer.clear buffer
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | ',' | '(' | ')' -> flush ()
+      | '=' ->
+        flush ();
+        tokens := "=" :: !tokens
+      | c -> Buffer.add_char buffer c)
+    card;
+  flush ();
+  List.rev !tokens
+
+(* key=value pairs from a token stream like ["w"; "="; "10u"]. *)
+let rec key_values ~line = function
+  | [] -> Ok []
+  | key :: "=" :: value :: rest ->
+    (match key_values ~line rest with
+    | Ok pairs -> Ok ((String.lowercase_ascii key, value) :: pairs)
+    | Error e -> Error e)
+  | token :: _ -> error ~line "expected key=value, got %S" token
+
+let parse_models lines =
+  List.fold_left
+    (fun acc (line_number, card) ->
+      match acc with
+      | Error _ -> acc
+      | Ok models ->
+        (match tokenize card with
+        | dot :: name :: kind :: params
+          when String.lowercase_ascii dot = ".model" ->
+          let polarity =
+            match String.lowercase_ascii kind with
+            | "nmos" -> Some Mos_model.Nmos
+            | "pmos" -> Some Mos_model.Pmos
+            | _ -> None
+          in
+          (match polarity with
+          | None -> error ~line:line_number "unknown model kind %S" kind
+          | Some polarity ->
+            (match key_values ~line:line_number params with
+            | Error e -> Error e
+            | Ok pairs ->
+              let value key fallback =
+                match List.assoc_opt key pairs with
+                | None -> Ok fallback
+                | Some text ->
+                  (match engineering_value text with
+                  | Some v -> Ok v
+                  | None ->
+                    error ~line:line_number "bad value %S for %s" text key)
+              in
+              let defaults =
+                match polarity with
+                | Mos_model.Nmos -> Mos_model.default_nmos
+                | Mos_model.Pmos -> Mos_model.default_pmos
+              in
+              (match
+                 ( value "vto" defaults.Mos_model.vth,
+                   value "kp" defaults.Mos_model.kp,
+                   value "lambda" defaults.Mos_model.lambda )
+               with
+              | Ok vth, Ok kp, Ok lambda ->
+                let key = String.lowercase_ascii name in
+                if List.mem_assoc key models then
+                  error ~line:line_number "duplicate model %S" name
+                else
+                  Ok
+                    ((key, { polarity; params = { Mos_model.vth; kp; lambda } })
+                    :: models)
+              | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)))
+        | _ -> acc))
+    (Ok []) lines
+
+let parse text =
+  let raw_lines = String.split_on_char '\n' text in
+  let cards =
+    List.mapi (fun i l -> i + 1, String.trim l) raw_lines
+    |> List.filter (fun (_, l) ->
+           l <> "" && l.[0] <> '*'
+           && String.lowercase_ascii l <> ".end")
+  in
+  let model_cards, device_cards =
+    List.partition
+      (fun (_, l) ->
+        String.length l >= 6 && String.lowercase_ascii (String.sub l 0 6) = ".model")
+      cards
+  in
+  match parse_models model_cards with
+  | Error e -> Error e
+  | Ok models ->
+    let nl = Netlist.create () in
+    let node name = if name = "0" then Netlist.ground else Netlist.node nl name in
+    let parse_value ~line text =
+      match engineering_value text with
+      | Some v -> Ok v
+      | None -> error ~line "bad value %S" text
+    in
+    let parse_waveform ~line = function
+      | [] -> Ok (Waveform.dc 0.0)
+      | [ v ] -> Result.map Waveform.dc (parse_value ~line v)
+      | keyword :: rest ->
+        (match String.lowercase_ascii keyword, rest with
+        | "dc", [ v ] -> Result.map Waveform.dc (parse_value ~line v)
+        | "pwl", points ->
+          let rec pairs = function
+            | [] -> Ok []
+            | t :: v :: rest ->
+              (match parse_value ~line t, parse_value ~line v, pairs rest with
+              | Ok t, Ok v, Ok more -> Ok ((t, v) :: more)
+              | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+            | [ _ ] -> error ~line "PWL needs time/value pairs"
+          in
+          (match pairs points with
+          | Ok pts ->
+            (try Ok (Waveform.pwl pts)
+             with Invalid_argument m -> error ~line "%s" m)
+          | Error e -> Error e)
+        | "pulse", [ v0; v1; delay; rise; fall; width; period ] ->
+          let all =
+            List.map (parse_value ~line) [ v0; v1; delay; rise; fall; width; period ]
+          in
+          (match
+             List.fold_right
+               (fun v acc ->
+                 match v, acc with
+                 | Ok v, Ok vs -> Ok (v :: vs)
+                 | Error e, _ | _, Error e -> Error e)
+               all (Ok [])
+           with
+          | Ok [ v0; v1; delay; rise; fall; width; period ] ->
+            (try Ok (Waveform.pulse ~v0 ~v1 ~delay ~rise ~fall ~width ~period)
+             with Invalid_argument m -> error ~line "%s" m)
+          | Ok _ -> error ~line "PULSE needs 7 parameters"
+          | Error e -> Error e)
+        | _, _ -> error ~line "unsupported source specification %S" keyword)
+    in
+    let parse_card acc (line, card) =
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        let tokens = tokenize card in
+        (match tokens with
+        | [] -> Ok ()
+        | name :: rest ->
+          let add_two_terminal build =
+            match rest with
+            | n1 :: n2 :: value ->
+              (match build n1 n2 value with
+              | Ok () -> Ok ()
+              | Error e -> Error e)
+            | _ -> error ~line "%s needs two nodes and a value" name
+          in
+          (match Char.lowercase_ascii name.[0] with
+          | 'r' ->
+            add_two_terminal (fun n1 n2 -> function
+              | [ v ] ->
+                Result.map
+                  (fun r ->
+                    Netlist.add_resistor nl ~name (node n1) (node n2) r)
+                  (parse_value ~line v)
+              | _ -> error ~line "resistor needs one value")
+          | 'c' ->
+            add_two_terminal (fun n1 n2 -> function
+              | [ v ] ->
+                Result.map
+                  (fun c ->
+                    Netlist.add_capacitor nl ~name (node n1) (node n2) c)
+                  (parse_value ~line v)
+              | _ -> error ~line "capacitor needs one value")
+          | 'v' ->
+            add_two_terminal (fun n1 n2 spec ->
+                Result.map
+                  (fun wave ->
+                    Netlist.add_vsource nl ~name ~pos:(node n1) ~neg:(node n2)
+                      wave)
+                  (parse_waveform ~line spec))
+          | 'i' ->
+            add_two_terminal (fun n1 n2 spec ->
+                Result.map
+                  (fun wave ->
+                    Netlist.add_isource nl ~name ~pos:(node n1) ~neg:(node n2)
+                      wave)
+                  (parse_waveform ~line spec))
+          | 'm' ->
+            (match rest with
+            | d :: g :: s :: b :: model_name :: params ->
+              (match
+                 List.assoc_opt (String.lowercase_ascii model_name) models
+               with
+              | None -> error ~line "unknown model %S" model_name
+              | Some model ->
+                (match key_values ~line params with
+                | Error e -> Error e
+                | Ok pairs ->
+                  let dim key =
+                    match List.assoc_opt key pairs with
+                    | None -> error ~line "MOSFET needs %s=" (String.uppercase_ascii key)
+                    | Some text ->
+                      (match engineering_value text with
+                      | Some v -> Ok v
+                      | None -> error ~line "bad value %S for %s" text key)
+                  in
+                  (match dim "w", dim "l" with
+                  | Ok w, Ok l ->
+                    Ok
+                      (Netlist.add_mosfet nl ~name ~drain:(node d)
+                         ~gate:(node g) ~source:(node s) ~bulk:(node b)
+                         {
+                           Netlist.polarity = model.polarity;
+                           params = model.params;
+                           w;
+                           l;
+                         })
+                  | Error e, _ | _, Error e -> Error e)))
+            | _ -> error ~line "MOSFET needs d g s b model W= L=")
+          | _ -> error ~line "unsupported card %S" name))
+    in
+    (match List.fold_left parse_card (Ok ()) device_cards with
+    | Ok () -> Ok nl
+    | Error e -> Error e)
+
+(* --- printer ------------------------------------------------------------ *)
+
+let float_repr v = Printf.sprintf "%.12g" v
+
+let waveform_repr wave =
+  match Waveform.view wave with
+  | Waveform.View_dc v -> Printf.sprintf "DC %s" (float_repr v)
+  | Waveform.View_pwl points ->
+    Printf.sprintf "PWL(%s)"
+      (String.concat " "
+         (List.map
+            (fun (t, v) -> Printf.sprintf "%s %s" (float_repr t) (float_repr v))
+            points))
+  | Waveform.View_pulse { v0; v1; delay; rise; fall; width; period } ->
+    Printf.sprintf "PULSE(%s %s %s %s %s %s %s)" (float_repr v0)
+      (float_repr v1) (float_repr delay) (float_repr rise) (float_repr fall)
+      (float_repr width) (float_repr period)
+
+let to_string netlist =
+  let buffer = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer (s ^ "\n")) fmt in
+  line "* netlist exported by dotest";
+  (* Collect distinct MOS models and name them. *)
+  let models = ref [] in
+  let model_name (spec : Netlist.mosfet_spec) =
+    let key = spec.polarity, spec.params in
+    match List.assoc_opt key !models with
+    | Some name -> name
+    | None ->
+      let name =
+        Printf.sprintf "%s%d"
+          (match spec.polarity with Mos_model.Nmos -> "NM" | Mos_model.Pmos -> "PM")
+          (List.length !models)
+      in
+      models := (key, name) :: !models;
+      name
+  in
+  let node_repr n = Netlist.node_name netlist n in
+  let device (dv : Netlist.device_view) =
+    let pin role = node_repr (List.assoc role dv.pin_nodes) in
+    match dv.kind with
+    | Netlist.Resistor r ->
+      line "%s %s %s %s" dv.dev_name (pin "+") (pin "-") (float_repr r)
+    | Netlist.Capacitor c ->
+      line "%s %s %s %s" dv.dev_name (pin "+") (pin "-") (float_repr c)
+    | Netlist.Vsource wave ->
+      line "%s %s %s %s" dv.dev_name (pin "+") (pin "-") (waveform_repr wave)
+    | Netlist.Isource wave ->
+      line "%s %s %s %s" dv.dev_name (pin "+") (pin "-") (waveform_repr wave)
+    | Netlist.Mosfet spec ->
+      line "%s %s %s %s %s %s W=%s L=%s" dv.dev_name (pin "d") (pin "g")
+        (pin "s") (pin "b") (model_name spec) (float_repr spec.w)
+        (float_repr spec.l)
+  in
+  List.iter device (Netlist.devices netlist);
+  List.iter
+    (fun ((polarity, (params : Mos_model.params)), name) ->
+      line ".MODEL %s %s (VTO=%s KP=%s LAMBDA=%s)" name
+        (match polarity with Mos_model.Nmos -> "NMOS" | Mos_model.Pmos -> "PMOS")
+        (float_repr params.Mos_model.vth)
+        (float_repr params.Mos_model.kp)
+        (float_repr params.Mos_model.lambda))
+    (List.rev !models);
+  line ".END";
+  Buffer.contents buffer
+
+let roundtrip netlist = parse (to_string netlist)

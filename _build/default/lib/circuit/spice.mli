@@ -1,0 +1,36 @@
+(** SPICE-format netlist reader and writer.
+
+    Supports the subset this library's devices span, enough to exchange
+    macros with standard circuit tools:
+
+    {v
+    * comment
+    Rname n1 n2 value
+    Cname n1 n2 value
+    Vname n+ n- DC value
+    Vname n+ n- PWL(t1 v1 t2 v2 ...)
+    Vname n+ n- PULSE(v0 v1 delay rise fall width period)
+    Iname n+ n- DC value
+    Mname d g s b model W=value L=value
+    .MODEL name NMOS|PMOS (VTO=value KP=value LAMBDA=value)
+    .END
+    v}
+
+    Device names keep their leading type letter ("R1", "MTAIL", …).
+    Values accept the usual engineering suffixes
+    (f p n u m k meg g, case-insensitive). Node ["0"] is ground.
+    Parsing is case-insensitive for keywords and suffixes but preserves
+    node and device-name case. *)
+
+(** [parse text] builds a netlist.
+    Returns [Error message] (with a line number) on malformed input,
+    unknown model references, or duplicate definitions. *)
+val parse : string -> (Netlist.t, string) result
+
+(** [to_string netlist] renders a netlist that [parse] accepts;
+    [parse (to_string nl)] is electrically equivalent to [nl] (same
+    devices, nodes, values, source waveforms and MOS models). *)
+val to_string : Netlist.t -> string
+
+(** [roundtrip netlist] = [parse (to_string netlist)], for tests. *)
+val roundtrip : Netlist.t -> (Netlist.t, string) result

@@ -1,0 +1,1 @@
+lib/core/global.ml: Hashtbl List Macro Pipeline Printf Testgen

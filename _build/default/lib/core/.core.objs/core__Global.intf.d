@@ -1,0 +1,1 @@
+lib/core/global.mli: Fault Pipeline Testgen

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Defect Fault Lazy List Logs Macro Process Util

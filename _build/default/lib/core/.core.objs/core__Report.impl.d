@@ -1,0 +1,1 @@
+lib/core/report.ml: Fault Format Global List Macro Pipeline Printf Testgen Util

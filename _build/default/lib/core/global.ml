@@ -1,0 +1,73 @@
+type t = {
+  weighted : (Pipeline.macro_analysis * float) list;  (* normalized weights *)
+}
+
+let combine analyses =
+  if analyses = [] then invalid_arg "Global.combine: no analyses";
+  let raw =
+    List.map
+      (fun (a : Pipeline.macro_analysis) ->
+        a, Macro.Macro_cell.area_weight a.macro)
+      analyses
+  in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 raw in
+  { weighted = List.map (fun (a, w) -> a, w /. total) raw }
+
+let analyses t = List.map fst t.weighted
+
+let weight t name =
+  match
+    List.find_opt
+      (fun ((a : Pipeline.macro_analysis), _) ->
+        a.macro.Macro.Macro_cell.name = name)
+      t.weighted
+  with
+  | Some (_, w) -> w
+  | None -> invalid_arg (Printf.sprintf "Global.weight: unknown macro %S" name)
+
+(* Merge the per-macro partitions, each rescaled by its area weight. A
+   macro with no simulated faults contributes nothing. *)
+let partition t severity =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun ((a : Pipeline.macro_analysis), w) ->
+      let cells = Testgen.Overlap.partition (Pipeline.outcomes a severity) in
+      List.iter
+        (fun (c : Testgen.Overlap.cell) ->
+          let existing =
+            try Hashtbl.find table c.combination with Not_found -> 0.0
+          in
+          Hashtbl.replace table c.combination (existing +. (w *. c.share)))
+        cells)
+    t.weighted;
+  (* Renormalize: macros whose fault list is empty dropped their weight. *)
+  let covered =
+    Hashtbl.fold (fun _ share acc -> acc +. share) table 0.0
+  in
+  let scale = if covered > 0. then 1.0 /. covered else 1.0 in
+  Hashtbl.fold
+    (fun combination share acc ->
+      { Testgen.Overlap.combination; share = share *. scale } :: acc)
+    table []
+  |> List.sort (fun (a : Testgen.Overlap.cell) b -> compare b.share a.share)
+
+let venn t severity = Testgen.Overlap.venn_of_partition (partition t severity)
+
+let coverage t severity = Testgen.Overlap.coverage (venn t severity)
+
+let current_detectability t =
+  List.map
+    (fun ((a : Pipeline.macro_analysis), _) ->
+      let cells =
+        Testgen.Overlap.partition a.Pipeline.outcomes_catastrophic
+      in
+      let share =
+        List.fold_left
+          (fun acc (c : Testgen.Overlap.cell) ->
+            if Testgen.Detection.current_detected c.combination then
+              acc +. c.share
+            else acc)
+          0.0 cells
+      in
+      a.macro.Macro.Macro_cell.name, share)
+    t.weighted

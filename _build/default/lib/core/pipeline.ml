@@ -1,0 +1,90 @@
+type config = {
+  tech : Process.Tech.t;
+  stats : Process.Defect_stats.t;
+  defects : int;
+  good_space_dies : int;
+  sigma : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    tech = Process.Tech.cmos1um;
+    stats = Process.Defect_stats.default;
+    defects = 25_000;
+    good_space_dies = 48;
+    sigma = 3.0;
+    seed = 1995;
+  }
+
+type macro_analysis = {
+  macro : Macro.Macro_cell.t;
+  sprinkled : int;
+  effective : int;
+  good : Macro.Good_space.t;
+  classes_catastrophic : Fault.Collapse.fault_class list;
+  classes_non_catastrophic : Fault.Collapse.fault_class list;
+  outcomes_catastrophic : Macro.Evaluate.outcome list;
+  outcomes_non_catastrophic : Macro.Evaluate.outcome list;
+}
+
+let src = Logs.Src.create "dotest.core" ~doc:"methodology pipeline"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let analyze config (macro : Macro.Macro_cell.t) =
+  let prng = Util.Prng.create config.seed in
+  let defect_prng = Util.Prng.split prng in
+  let good_prng = Util.Prng.split prng in
+  let cell = Lazy.force macro.Macro.Macro_cell.cell in
+  let nominal_netlist =
+    macro.Macro.Macro_cell.build (Process.Variation.nominal config.tech)
+  in
+  Log.info (fun m -> m "[%s] sprinkling %d defects" macro.Macro.Macro_cell.name config.defects);
+  let defect_result =
+    Defect.Simulate.run ~tech:config.tech ~stats:config.stats ~cell
+      ~netlist:nominal_netlist defect_prng ~n:config.defects
+  in
+  let classes_catastrophic =
+    Fault.Collapse.collapse defect_result.Defect.Simulate.instances
+  in
+  let classes_non_catastrophic =
+    Fault.Collapse.derive_non_catastrophic ~tech:config.tech
+      classes_catastrophic
+  in
+  Log.info (fun m ->
+      m "[%s] %d effective defects, %d + %d fault classes"
+        macro.Macro.Macro_cell.name defect_result.Defect.Simulate.effective
+        (List.length classes_catastrophic)
+        (List.length classes_non_catastrophic));
+  let good =
+    Macro.Good_space.compile ~n:config.good_space_dies ~k:config.sigma
+      ~tech:config.tech macro good_prng
+  in
+  let outcomes_catastrophic =
+    Macro.Evaluate.run ~macro ~good classes_catastrophic
+  in
+  let outcomes_non_catastrophic =
+    Macro.Evaluate.run ~macro ~good classes_non_catastrophic
+  in
+  {
+    macro;
+    sprinkled = defect_result.Defect.Simulate.sprinkled;
+    effective = defect_result.Defect.Simulate.effective;
+    good;
+    classes_catastrophic;
+    classes_non_catastrophic;
+    outcomes_catastrophic;
+    outcomes_non_catastrophic;
+  }
+
+let outcomes analysis = function
+  | Fault.Types.Catastrophic -> analysis.outcomes_catastrophic
+  | Fault.Types.Non_catastrophic -> analysis.outcomes_non_catastrophic
+
+let fault_count analysis severity =
+  List.fold_left
+    (fun acc (o : Macro.Evaluate.outcome) ->
+      acc + o.fault_class.Fault.Collapse.count)
+    0
+    (outcomes analysis severity)

@@ -1,0 +1,39 @@
+(** The defect-oriented test path of Fig. 1, end to end, for one macro.
+
+    defect statistics + layout → defect simulation → fault collapsing →
+    (non-catastrophic derivation) → circuit-level fault simulation →
+    macro-level fault signatures. The caller chains {!Global} for the
+    circuit-level scaling step. *)
+
+type config = {
+  tech : Process.Tech.t;
+  stats : Process.Defect_stats.t;
+  defects : int;        (** spots sprinkled per macro *)
+  good_space_dies : int;  (** Monte-Carlo dies for the good space *)
+  sigma : float;        (** acceptance window width, in σ *)
+  seed : int;
+}
+
+val default_config : config
+
+type macro_analysis = {
+  macro : Macro.Macro_cell.t;
+  sprinkled : int;
+  effective : int;
+  good : Macro.Good_space.t;
+  classes_catastrophic : Fault.Collapse.fault_class list;
+  classes_non_catastrophic : Fault.Collapse.fault_class list;
+  outcomes_catastrophic : Macro.Evaluate.outcome list;
+  outcomes_non_catastrophic : Macro.Evaluate.outcome list;
+}
+
+(** [analyze config macro] runs the whole per-macro path. Deterministic
+    for a given [config.seed]. *)
+val analyze : config -> Macro.Macro_cell.t -> macro_analysis
+
+(** All outcomes of one severity. *)
+val outcomes :
+  macro_analysis -> Fault.Types.severity -> Macro.Evaluate.outcome list
+
+(** Number of simulated fault instances (magnitude-weighted). *)
+val fault_count : macro_analysis -> Fault.Types.severity -> int

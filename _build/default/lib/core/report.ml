@@ -1,0 +1,192 @@
+let pct = Util.Table.cell_pct
+
+let table1 (a : Pipeline.macro_analysis) =
+  let t =
+    Util.Table.create
+      ~columns:
+        [
+          "fault type", Util.Table.Left;
+          "% faults", Util.Table.Right;
+          "% fault classes", Util.Table.Right;
+        ]
+  in
+  List.iter
+    (fun (ft, fault_share, class_share) ->
+      Util.Table.add_row t
+        [
+          Fault.Types.fault_type_name ft;
+          pct (100. *. fault_share);
+          pct (100. *. class_share);
+        ])
+    (Fault.Collapse.by_type a.Pipeline.classes_catastrophic);
+  Util.Table.add_separator t;
+  Util.Table.add_row t
+    [
+      "total";
+      Printf.sprintf "%d faults"
+        (Fault.Collapse.total_count a.Pipeline.classes_catastrophic);
+      Printf.sprintf "%d classes"
+        (List.length a.Pipeline.classes_catastrophic);
+    ];
+  t
+
+let table2 (a : Pipeline.macro_analysis) =
+  let t =
+    Util.Table.create
+      ~columns:
+        [
+          "fault signature", Util.Table.Left;
+          "% cat. faults", Util.Table.Right;
+          "% non-cat. faults", Util.Table.Right;
+        ]
+  in
+  let cat = Macro.Evaluate.voltage_table a.Pipeline.outcomes_catastrophic in
+  let ncat = Macro.Evaluate.voltage_table a.Pipeline.outcomes_non_catastrophic in
+  List.iter
+    (fun v ->
+      let share table = try List.assoc v table with Not_found -> 0.0 in
+      Util.Table.add_row t
+        [
+          Macro.Signature.voltage_name v;
+          pct (100. *. share cat);
+          pct (100. *. share ncat);
+        ])
+    Macro.Signature.all_voltage;
+  t
+
+let table3 (a : Pipeline.macro_analysis) =
+  let t =
+    Util.Table.create
+      ~columns:
+        [
+          "fault signature", Util.Table.Left;
+          "% cat. faults", Util.Table.Right;
+          "% non-cat. faults", Util.Table.Right;
+        ]
+  in
+  let cat, cat_none =
+    Macro.Evaluate.current_table a.Pipeline.outcomes_catastrophic
+  in
+  let ncat, ncat_none =
+    Macro.Evaluate.current_table a.Pipeline.outcomes_non_catastrophic
+  in
+  List.iter
+    (fun kind ->
+      let share table = try List.assoc kind table with Not_found -> 0.0 in
+      Util.Table.add_row t
+        [
+          Macro.Signature.current_name kind;
+          pct (100. *. share cat);
+          pct (100. *. share ncat);
+        ])
+    Macro.Signature.all_current;
+  Util.Table.add_row t
+    [ "No deviations"; pct (100. *. cat_none); pct (100. *. ncat_none) ];
+  t
+
+let figure3 (a : Pipeline.macro_analysis) =
+  let t =
+    Util.Table.create
+      ~columns:
+        [ "detected by", Util.Table.Left; "% of faults", Util.Table.Right ]
+  in
+  let cells = Testgen.Overlap.partition a.Pipeline.outcomes_catastrophic in
+  List.iter
+    (fun (c : Testgen.Overlap.cell) ->
+      Util.Table.add_row t
+        [
+          Format.asprintf "%a" Testgen.Detection.pp c.combination;
+          pct (100. *. c.share);
+        ])
+    cells;
+  Util.Table.add_separator t;
+  List.iter
+    (fun (name, share) ->
+      Util.Table.add_row t
+        [ name ^ " (total)"; pct (100. *. share) ])
+    (Testgen.Overlap.mechanism_share cells);
+  t
+
+let venn_rows t label (venn : Testgen.Overlap.venn) =
+  Util.Table.add_row t
+    [
+      label;
+      pct (100. *. venn.voltage_only);
+      pct (100. *. venn.both);
+      pct (100. *. venn.current_only);
+      pct (100. *. venn.undetected);
+      pct (100. *. Testgen.Overlap.coverage venn);
+    ]
+
+let figure4 (g : Global.t) =
+  let t =
+    Util.Table.create
+      ~columns:
+        [
+          "fault set", Util.Table.Left;
+          "voltage only", Util.Table.Right;
+          "both", Util.Table.Right;
+          "current only", Util.Table.Right;
+          "undetected", Util.Table.Right;
+          "coverage", Util.Table.Right;
+        ]
+  in
+  venn_rows t "catastrophic" (Global.venn g Fault.Types.Catastrophic);
+  venn_rows t "non-catastrophic" (Global.venn g Fault.Types.Non_catastrophic);
+  t
+
+let macro_current (g : Global.t) =
+  let t =
+    Util.Table.create
+      ~columns:
+        [
+          "macro", Util.Table.Left;
+          "area weight", Util.Table.Right;
+          "current detectable", Util.Table.Right;
+        ]
+  in
+  List.iter
+    (fun (name, share) ->
+      Util.Table.add_row t
+        [
+          name;
+          pct (100. *. Global.weight g name);
+          pct (100. *. share);
+        ])
+    (Global.current_detectability g);
+  t
+
+let summary (g : Global.t) =
+  let t =
+    Util.Table.create
+      ~columns:[ "metric", Util.Table.Left; "value", Util.Table.Right ]
+  in
+  let cat = Global.partition g Fault.Types.Catastrophic in
+  Util.Table.add_row t
+    [
+      "coverage (catastrophic)";
+      pct (100. *. Global.coverage g Fault.Types.Catastrophic);
+    ];
+  Util.Table.add_row t
+    [
+      "coverage (non-catastrophic)";
+      pct (100. *. Global.coverage g Fault.Types.Non_catastrophic);
+    ];
+  Util.Table.add_row t
+    [
+      "IDDQ-only share";
+      pct (100. *. Testgen.Overlap.only_detected_by cat ~mechanism:"IDDQ");
+    ];
+  Util.Table.add_row t
+    [
+      "current-only share";
+      pct
+        (100.
+        *. (Global.venn g Fault.Types.Catastrophic).Testgen.Overlap.current_only);
+    ];
+  Util.Table.add_row t
+    [
+      "simple-test time";
+      Printf.sprintf "%.0f us" (Testgen.Test_time.total *. 1e6);
+    ];
+  t

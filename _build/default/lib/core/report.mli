@@ -1,0 +1,29 @@
+(** Renderers for the paper's tables and figures.
+
+    Every artefact of the evaluation section has a renderer producing the
+    same rows/series the paper reports, as aligned plain text. The
+    benchmark harness prints these next to the paper's numbers. *)
+
+(** Table 1: catastrophic faults and fault classes per fault type. *)
+val table1 : Pipeline.macro_analysis -> Util.Table.t
+
+(** Table 2: voltage fault signatures (catastrophic and non-catastrophic
+    columns). *)
+val table2 : Pipeline.macro_analysis -> Util.Table.t
+
+(** Table 3: current fault signatures. *)
+val table3 : Pipeline.macro_analysis -> Util.Table.t
+
+(** Fig. 3: detectability overlap of catastrophic faults of one macro —
+    one row per mechanism combination with its share. *)
+val figure3 : Pipeline.macro_analysis -> Util.Table.t
+
+(** Fig. 4 (or 5, on a DfT-measure run): global detectability Venn for
+    both severities. *)
+val figure4 : Global.t -> Util.Table.t
+
+(** §3.3 per-macro current detectability. *)
+val macro_current : Global.t -> Util.Table.t
+
+(** Headline summary: coverages, only-IDDQ share, test time. *)
+val summary : Global.t -> Util.Table.t

@@ -1,0 +1,1 @@
+lib/defect/simulate.ml: Circuit Fault Geometry Hashtbl Layout List Logs Option Process Util

@@ -1,0 +1,1 @@
+lib/defect/simulate.mli: Circuit Fault Geometry Layout Process Util

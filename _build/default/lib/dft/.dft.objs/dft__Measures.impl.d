@@ -1,0 +1,1 @@
+lib/dft/measures.ml: Adc Core List

@@ -1,0 +1,1 @@
+lib/dft/measures.mli: Core Macro

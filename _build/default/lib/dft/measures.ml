@@ -1,0 +1,48 @@
+type measure = Leak_free_flipflop | Bias_line_exchange
+
+let all_measures = [ Leak_free_flipflop; Bias_line_exchange ]
+
+let describe = function
+  | Leak_free_flipflop ->
+    "redesign the comparator flipflop to eliminate its leakage current, so \
+     the sampling-phase IVdd acceptance window no longer hides faults"
+  | Bias_line_exchange ->
+    "exchange bias routing tracks so the two almost-equal bias lines are \
+     separated by strongly different signals"
+
+let macro_set ~measures =
+  let options =
+    {
+      Adc.Comparator.leaky_flipflop = not (List.mem Leak_free_flipflop measures);
+      bias_adjacent = not (List.mem Bias_line_exchange measures);
+    }
+  in
+  [
+    Adc.Comparator.macro options;
+    Adc.Ladder.macro ();
+    Adc.Bias_gen.macro ();
+    Adc.Clock_gen.macro ();
+    Adc.Decoder.macro ();
+  ]
+
+let original () = macro_set ~measures:[]
+let improved () = macro_set ~measures:all_measures
+
+let compare_coverage ?(config = Core.Pipeline.default_config) () =
+  let run macros =
+    Core.Global.combine (List.map (Core.Pipeline.analyze config) macros)
+  in
+  run (original ()), run (improved ())
+
+let guidelines =
+  [
+    "Many faults disturb the boundary between analog and digital, raising \
+     the quiescent current of the digital part: design the analog/digital \
+     interface so the fault-free quiescent current is negligibly small, \
+     then test it (IDDQ).";
+    "Faults between lines carrying almost identical signals are very hard \
+     to detect: do not route such lines next to each other.";
+    "Keep process-sensitive leakage out of supply-current signatures: a \
+     current that spreads widely in the fault-free circuit masks every \
+     fault hiding inside its acceptance window.";
+  ]

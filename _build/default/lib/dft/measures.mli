@@ -1,0 +1,42 @@
+(** The Design-for-Testability measures of §3.4 and their evaluation.
+
+    Analysis of the undetectable faults shows two dominant escape
+    mechanisms, each with a design fix:
+
+    - {b flipflop redesign}: the flipflop's leak device makes the
+      sampling-phase analog supply current spread so widely that faults
+      with moderate IVdd deviations hide inside the acceptance window;
+      removing the leak tightens the window;
+    - {b bias-line exchange}: the amplifier and latch bias lines carry
+      signals only ~50 mV apart and run on adjacent routing tracks;
+      shorts between them change almost nothing observable. Re-ordering
+      the tracks separates them with strongly different signals, so the
+      shorts that do occur are detectable.
+
+    [measure_set] builds the macro list with a chosen subset of measures
+    applied, which the {!Core.Pipeline} re-runs to produce Fig. 5. *)
+
+type measure =
+  | Leak_free_flipflop
+  | Bias_line_exchange
+
+val all_measures : measure list
+
+val describe : measure -> string
+
+(** The five macros with the given measures applied. *)
+val macro_set : measures:measure list -> Macro.Macro_cell.t list
+
+(** [original ()] = [macro_set ~measures:[]];
+    [improved ()] = all measures. *)
+val original : unit -> Macro.Macro_cell.t list
+
+val improved : unit -> Macro.Macro_cell.t list
+
+(** Coverage comparison: run the pipeline on both macro sets and return
+    ((fig4 original), (fig5 improved)). *)
+val compare_coverage :
+  ?config:Core.Pipeline.config -> unit -> Core.Global.t * Core.Global.t
+
+(** The general mixed-signal DfT guidelines the paper derives (§4). *)
+val guidelines : string list

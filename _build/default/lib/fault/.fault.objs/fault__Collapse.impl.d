@@ -1,0 +1,1 @@
+lib/fault/collapse.ml: Hashtbl List Process Types

@@ -1,0 +1,1 @@
+lib/fault/collapse.mli: Process Types

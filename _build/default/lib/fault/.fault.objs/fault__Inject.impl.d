@@ -1,0 +1,1 @@
+lib/fault/inject.ml: Circuit List Printf Types

@@ -1,0 +1,1 @@
+lib/fault/types.ml: Format List Printf Process String

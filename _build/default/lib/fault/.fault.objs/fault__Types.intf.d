@@ -1,0 +1,1 @@
+lib/fault/types.mli: Format Process

@@ -1,0 +1,102 @@
+type fault_class = { representative : Types.instance; count : int }
+
+let severity_tag = function
+  | Types.Catastrophic -> "C"
+  | Types.Non_catastrophic -> "N"
+
+let instance_key (i : Types.instance) =
+  severity_tag i.severity ^ "/" ^ Types.canonical_key i.fault
+
+let collapse instances =
+  let table = Hashtbl.create 256 in
+  let order = ref [] in
+  List.iter
+    (fun (i : Types.instance) ->
+      let key = instance_key i in
+      match Hashtbl.find_opt table key with
+      | None ->
+        Hashtbl.replace table key (i, ref 1);
+        order := key :: !order
+      | Some (_, count) -> incr count)
+    instances;
+  List.rev_map
+    (fun key ->
+      let representative, count = Hashtbl.find table key in
+      { representative; count = !count })
+    !order
+  |> List.sort (fun a b ->
+         match compare b.count a.count with
+         | 0 -> compare (instance_key a.representative) (instance_key b.representative)
+         | c -> c)
+
+let total_count classes = List.fold_left (fun acc c -> acc + c.count) 0 classes
+
+let by_type classes =
+  let faults_total = float_of_int (max 1 (total_count classes)) in
+  let classes_total = float_of_int (max 1 (List.length classes)) in
+  let tally =
+    List.map
+      (fun ft ->
+        let members =
+          List.filter
+            (fun c -> Types.type_of_fault c.representative.Types.fault = ft)
+            classes
+        in
+        let fault_share = float_of_int (total_count members) /. faults_total in
+        let class_share = float_of_int (List.length members) /. classes_total in
+        ft, fault_share, class_share)
+      Types.all_fault_types
+  in
+  List.sort (fun (_, a, _) (_, b, _) -> compare b a) tally
+
+let derive_non_catastrophic ~tech classes =
+  let near_miss (c : fault_class) =
+    match c.representative.Types.fault with
+    | Types.Bridge ({ origin = Types.Short | Types.Extra_contact; _ } as b) ->
+      Some
+        {
+          representative =
+            {
+              c.representative with
+              Types.fault =
+                Types.Bridge
+                  {
+                    b with
+                    resistance = tech.Process.Tech.near_miss_resistance;
+                    capacitance = Some tech.Process.Tech.near_miss_capacitance;
+                  };
+              severity = Types.Non_catastrophic;
+            };
+          count = c.count;
+        }
+    | Types.Bridge_cluster ({ origin = Types.Short | Types.Extra_contact; _ } as b) ->
+      Some
+        {
+          representative =
+            {
+              c.representative with
+              Types.fault =
+                Types.Bridge_cluster
+                  {
+                    b with
+                    resistance = tech.Process.Tech.near_miss_resistance;
+                    capacitance = Some tech.Process.Tech.near_miss_capacitance;
+                  };
+              severity = Types.Non_catastrophic;
+            };
+          count = c.count;
+        }
+    | Types.Bridge _ | Types.Bridge_cluster _ | Types.Node_split _
+    | Types.Gate_pinhole _ | Types.Junction_leak _ | Types.Device_ds_short _
+    | Types.Parasitic_mos _ ->
+      None
+  in
+  (* Re-collapse: distinct catastrophic resistances (metal vs poly bridge
+     between the same nets) map onto the same 500 Ω near-miss class. *)
+  let derived = List.filter_map near_miss classes in
+  let expanded =
+    List.concat_map
+      (fun c -> List.init c.count (fun _ -> c.representative))
+      derived
+  in
+  collapse expanded

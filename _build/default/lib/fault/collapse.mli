@@ -1,0 +1,38 @@
+(** Fault collapsing: equivalence classes of circuit-level faults.
+
+    The defect simulator produces one fault per effective defect; many are
+    circuit-level equivalent (e.g. every extra-metal spot bridging the same
+    two nets). This step groups them by {!Types.canonical_key}; the class
+    magnitude — the number of member instances — is the likelihood weight
+    that the coverage figures are computed over (paper §2: "the magnitude
+    of a fault class determines the likelihood of this particular type of
+    fault"). *)
+
+type fault_class = {
+  representative : Types.instance;
+  count : int;       (** class magnitude *)
+}
+
+(** [collapse instances] groups by canonical key, keeping the first
+    instance of each class as representative; classes are returned sorted
+    by decreasing magnitude (then key, for determinism). Severity is part
+    of the key — catastrophic and derived non-catastrophic faults never
+    merge. *)
+val collapse : Types.instance list -> fault_class list
+
+(** [total_count classes] is the number of underlying fault instances. *)
+val total_count : fault_class list -> int
+
+(** [by_type classes] tabulates, per Table-1 fault type, the share of
+    faults (weighted by magnitude) and the share of classes. Returned as
+    [(fault_type, fault_share, class_share)] with shares in \[0, 1\],
+    sorted by decreasing fault share. *)
+val by_type : fault_class list -> (Types.fault_type * float * float) list
+
+(** [derive_non_catastrophic ~tech classes] evolves near-miss faults from
+    the catastrophic shorts and extra contacts (paper §3.2): each such
+    class yields a class of equal magnitude whose bridge is replaced by
+    500 Ω ∥ 1 fF. Other fault types are already high-ohmic and yield
+    nothing. *)
+val derive_non_catastrophic :
+  tech:Process.Tech.t -> fault_class list -> fault_class list

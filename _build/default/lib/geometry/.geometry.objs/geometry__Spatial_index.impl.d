@@ -1,0 +1,1 @@
+lib/geometry/spatial_index.ml: Array Circle List Rect

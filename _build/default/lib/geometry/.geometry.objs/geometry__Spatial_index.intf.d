@@ -1,0 +1,1 @@
+lib/geometry/spatial_index.mli: Circle Rect

@@ -1,0 +1,48 @@
+type t = { cx : int; cy : int; radius : float }
+
+let create ~cx ~cy ~radius =
+  if radius <= 0. then invalid_arg "Circle.create: non-positive radius";
+  { cx; cy; radius }
+
+let diameter t = 2.0 *. t.radius
+
+let distance_to_rect t (r : Rect.t) =
+  let clamp v lo hi = max lo (min hi v) in
+  let nx = clamp t.cx r.Rect.x0 r.Rect.x1 in
+  let ny = clamp t.cy r.Rect.y0 r.Rect.y1 in
+  Float.hypot (float_of_int (t.cx - nx)) (float_of_int (t.cy - ny))
+
+let intersects_rect t r = distance_to_rect t r <= t.radius
+
+let covers_rect_span t r ~axis =
+  (* The disc severs the wire when it contains a full cross-section of the
+     rectangle: both long edges must dip inside the disc at a common
+     position, and the resulting chord interval must land on the
+     rectangle. For axis [`X] the disc spans the rectangle's width; the
+     cross-section runs along y. *)
+  let spans ~lo ~hi ~centre ~other_lo ~other_hi ~other_centre =
+    let d_lo = float_of_int (lo - centre) in
+    let d_hi = float_of_int (hi - centre) in
+    let reach = Float.max (Float.abs d_lo) (Float.abs d_hi) in
+    reach < t.radius
+    && begin
+         let half_chord = sqrt ((t.radius *. t.radius) -. (reach *. reach)) in
+         float_of_int other_lo < float_of_int other_centre +. half_chord
+         && float_of_int other_hi > float_of_int other_centre -. half_chord
+       end
+  in
+  match axis with
+  | `X ->
+    spans ~lo:r.Rect.x0 ~hi:r.Rect.x1 ~centre:t.cx ~other_lo:r.Rect.y0
+      ~other_hi:r.Rect.y1 ~other_centre:t.cy
+  | `Y ->
+    spans ~lo:r.Rect.y0 ~hi:r.Rect.y1 ~centre:t.cy ~other_lo:r.Rect.x0
+      ~other_hi:r.Rect.x1 ~other_centre:t.cx
+
+let bridges t a b = intersects_rect t a && intersects_rect t b
+
+let bounds t =
+  let r = int_of_float (Float.ceil t.radius) in
+  Rect.create ~x0:(t.cx - r) ~y0:(t.cy - r) ~x1:(t.cx + r) ~y1:(t.cy + r)
+
+let pp ppf t = Format.fprintf ppf "circle(%d,%d r=%.1f)" t.cx t.cy t.radius

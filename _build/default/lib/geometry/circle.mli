@@ -1,0 +1,32 @@
+(** Circular spot defects.
+
+    VLASIC-style defect simulators model a spot defect as a disc of extra
+    or missing material. Centre coordinates are integer nanometres; the
+    radius is kept as a float because defect sizes are drawn from a
+    continuous 1/x³ distribution. *)
+
+type t = { cx : int; cy : int; radius : float }
+
+(** [create ~cx ~cy ~radius] with [radius > 0]. *)
+val create : cx:int -> cy:int -> radius:float -> t
+
+val diameter : t -> float
+
+(** [intersects_rect c r] is [true] when the disc and the rectangle share
+    any point (boundary contact counts: a defect grazing a wire already
+    disturbs it). *)
+val intersects_rect : t -> Rect.t -> bool
+
+(** [covers_rect_span c r ~axis] tests whether the disc completely spans
+    the rectangle across the given axis (i.e. a missing-material defect
+    severs the wire). [`X] means the disc covers the full width. *)
+val covers_rect_span : t -> Rect.t -> axis:[ `X | `Y ] -> bool
+
+(** [bridges c a b] is [true] when the disc touches both rectangles, i.e.
+    an extra-material spot electrically connects them. *)
+val bridges : t -> Rect.t -> Rect.t -> bool
+
+(** Bounding box of the disc (ceiling-expanded to the integer grid). *)
+val bounds : t -> Rect.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+type 'a entry = { id : int; rect : Rect.t; payload : 'a }
+
+type 'a t = {
+  bounds : Rect.t;
+  cell_size : int;
+  cols : int;
+  rows : int;
+  buckets : 'a entry list array;
+  mutable count : int;
+  mutable stamp : int;
+  (* Deduplication scratch: seen.(id) = stamp means the entry was already
+     visited during the current query. Grown on demand. *)
+  mutable seen : int array;
+}
+
+let create ~bounds ~cell_size =
+  if cell_size <= 0 then invalid_arg "Spatial_index.create: cell_size";
+  let cols = max 1 ((Rect.width bounds + cell_size - 1) / cell_size) in
+  let rows = max 1 ((Rect.height bounds + cell_size - 1) / cell_size) in
+  {
+    bounds;
+    cell_size;
+    cols;
+    rows;
+    buckets = Array.make (cols * rows) [];
+    count = 0;
+    stamp = 0;
+    seen = Array.make 64 0;
+  }
+
+let length t = t.count
+
+let clamp v lo hi = max lo (min hi v)
+
+let bucket_range t (r : Rect.t) =
+  let col_of x = clamp ((x - t.bounds.Rect.x0) / t.cell_size) 0 (t.cols - 1) in
+  let row_of y = clamp ((y - t.bounds.Rect.y0) / t.cell_size) 0 (t.rows - 1) in
+  col_of r.Rect.x0, row_of r.Rect.y0, col_of r.Rect.x1, row_of r.Rect.y1
+
+let insert t rect payload =
+  let id = t.count in
+  t.count <- t.count + 1;
+  if id >= Array.length t.seen then begin
+    let bigger = Array.make (2 * Array.length t.seen) 0 in
+    Array.blit t.seen 0 bigger 0 (Array.length t.seen);
+    t.seen <- bigger
+  end;
+  let entry = { id; rect; payload } in
+  let c0, r0, c1, r1 = bucket_range t rect in
+  for row = r0 to r1 do
+    for col = c0 to c1 do
+      let idx = (row * t.cols) + col in
+      t.buckets.(idx) <- entry :: t.buckets.(idx)
+    done
+  done
+
+let visit t region keep f =
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp in
+  let c0, r0, c1, r1 = bucket_range t region in
+  for row = r0 to r1 do
+    for col = c0 to c1 do
+      let bucket = t.buckets.((row * t.cols) + col) in
+      List.iter
+        (fun e ->
+          if t.seen.(e.id) <> stamp then begin
+            t.seen.(e.id) <- stamp;
+            if keep e.rect then f e.rect e.payload
+          end)
+        bucket
+    done
+  done
+
+let query_rect t rect f = visit t rect (Rect.touches_or_overlaps rect) f
+
+let query_circle t circle f =
+  visit t (Circle.bounds circle) (Circle.intersects_rect circle) f

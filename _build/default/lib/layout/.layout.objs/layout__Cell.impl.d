@@ -1,0 +1,1 @@
+lib/layout/cell.ml: Array Format Geometry List Process

@@ -1,0 +1,1 @@
+lib/layout/drc.ml: Array Cell Extract Format Geometry Hashtbl List Printf Process String

@@ -1,0 +1,1 @@
+lib/layout/drc.mli: Cell Format Process

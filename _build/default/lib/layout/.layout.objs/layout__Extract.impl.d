@@ -1,0 +1,1 @@
+lib/layout/extract.ml: Array Cell Circuit Format Geometry Hashtbl List Process String Util

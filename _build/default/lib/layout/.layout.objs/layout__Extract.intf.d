@@ -1,0 +1,1 @@
+lib/layout/extract.mli: Cell Circuit

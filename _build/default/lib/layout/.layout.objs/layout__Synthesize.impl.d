@@ -1,0 +1,1 @@
+lib/layout/synthesize.ml: Cell Circuit Float Geometry Hashtbl List Process

@@ -1,0 +1,1 @@
+lib/layout/synthesize.mli: Cell Circuit Process

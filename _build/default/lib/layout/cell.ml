@@ -1,0 +1,70 @@
+type owner =
+  | Wire of string
+  | Device_terminal of { device : string; terminal : string }
+  | Gate of { device : string }
+  | Channel of { device : string }
+  | Cut of { connects_up : bool }
+
+type shape = {
+  id : int;
+  layer : Process.Layer.t;
+  rect : Geometry.Rect.t;
+  owner : owner;
+}
+
+type t = {
+  cell_name : string;
+  cell_shapes : shape array;
+  cell_bounds : Geometry.Rect.t;
+  mutable cached_index : int Geometry.Spatial_index.t option;
+}
+
+type builder = { b_name : string; mutable rev_shapes : shape list; mutable next : int }
+
+let builder name = { b_name = name; rev_shapes = []; next = 0 }
+
+let add_shape b ~layer ~rect ~owner =
+  let id = b.next in
+  b.next <- id + 1;
+  b.rev_shapes <- { id; layer; rect; owner } :: b.rev_shapes;
+  id
+
+let finish b =
+  if b.rev_shapes = [] then invalid_arg "Cell.finish: empty cell";
+  let cell_shapes = Array.of_list (List.rev b.rev_shapes) in
+  let cell_bounds =
+    Geometry.Rect.bounding_box
+      (Array.to_list (Array.map (fun s -> s.rect) cell_shapes))
+  in
+  { cell_name = b.b_name; cell_shapes; cell_bounds; cached_index = None }
+
+let name t = t.cell_name
+let shapes t = t.cell_shapes
+let shape t id = t.cell_shapes.(id)
+let bounds t = t.cell_bounds
+
+let layer_area t layer =
+  Array.fold_left
+    (fun acc s ->
+      if Process.Layer.equal s.layer layer then acc + Geometry.Rect.area s.rect
+      else acc)
+    0 t.cell_shapes
+
+let area t = Geometry.Rect.area t.cell_bounds
+
+let index t =
+  match t.cached_index with
+  | Some idx -> idx
+  | None ->
+    let span = max (Geometry.Rect.width t.cell_bounds) (Geometry.Rect.height t.cell_bounds) in
+    let cell_size = max 1000 (span / 64) in
+    let idx = Geometry.Spatial_index.create ~bounds:t.cell_bounds ~cell_size in
+    Array.iter (fun s -> Geometry.Spatial_index.insert idx s.rect s.id) t.cell_shapes;
+    t.cached_index <- Some idx;
+    idx
+
+let pp_summary ppf t =
+  Format.fprintf ppf "cell %s: %d shapes, %dx%d nm" t.cell_name
+    (Array.length t.cell_shapes)
+    (Geometry.Rect.width t.cell_bounds)
+    (Geometry.Rect.height t.cell_bounds)

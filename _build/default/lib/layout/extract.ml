@@ -1,0 +1,190 @@
+type net = int
+
+type t = {
+  cell : Cell.t;
+  group_of_shape : int option array;  (* canonical group id per shape *)
+  members : (net, int list) Hashtbl.t;
+  names : (net, string) Hashtbl.t;
+  name_conflicts : (net * string list) list;
+}
+
+(* A shape participates in extraction when it is a static conductor or a
+   cut. Channels and wells do not. *)
+let participates (s : Cell.shape) =
+  match s.owner with
+  | Cell.Channel _ -> false
+  | Cell.Wire _ | Cell.Device_terminal _ | Cell.Gate _ | Cell.Cut _ ->
+    Process.Layer.is_conducting s.layer || Process.Layer.is_cut s.layer
+
+(* Layers a cut shape bonds together. Contacts land on poly or active and
+   rise to metal1; vias join the metals. *)
+let cut_targets layer =
+  match (layer : Process.Layer.t) with
+  | Process.Layer.Contact -> [ Process.Layer.Poly; Process.Layer.Active; Process.Layer.Metal1 ]
+  | Process.Layer.Via -> [ Process.Layer.Metal1; Process.Layer.Metal2 ]
+  | Process.Layer.Nwell | Process.Layer.Active | Process.Layer.Poly
+  | Process.Layer.Metal1 | Process.Layer.Metal2 -> []
+
+let build cell ~removed =
+  let shapes = Cell.shapes cell in
+  let n = Array.length shapes in
+  let removed_mask = Array.make n false in
+  List.iter (fun id -> if id >= 0 && id < n then removed_mask.(id) <- true) removed;
+  let uf = Util.Union_find.create n in
+  let idx = Cell.index cell in
+  let active s = (not removed_mask.(s.Cell.id)) && participates s in
+  Array.iter
+    (fun (s : Cell.shape) ->
+      if active s then begin
+        let connect_layers =
+          if Process.Layer.is_cut s.layer then cut_targets s.layer
+          else [ s.layer ]
+        in
+        Geometry.Spatial_index.query_rect idx s.rect (fun _ other_id ->
+            if other_id <> s.id then begin
+              let other = Cell.shape cell other_id in
+              if
+                active other
+                && (not (Process.Layer.is_cut other.layer))
+                && List.exists (Process.Layer.equal other.layer) connect_layers
+                && Geometry.Rect.touches_or_overlaps s.rect other.rect
+              then ignore (Util.Union_find.union uf s.id other.id)
+            end)
+      end)
+    shapes;
+  let group_of_shape = Array.make n None in
+  let members = Hashtbl.create 64 in
+  Array.iter
+    (fun (s : Cell.shape) ->
+      if active s then begin
+        let g = Util.Union_find.find uf s.id in
+        group_of_shape.(s.id) <- Some g;
+        let existing = try Hashtbl.find members g with Not_found -> [] in
+        Hashtbl.replace members g (s.id :: existing)
+      end)
+    shapes;
+  (* Net names from wire labels; detect conflicts. *)
+  let names = Hashtbl.create 16 in
+  let conflicts = Hashtbl.create 4 in
+  Array.iter
+    (fun (s : Cell.shape) ->
+      match s.owner, group_of_shape.(s.id) with
+      | Cell.Wire net_name, Some g ->
+        (match Hashtbl.find_opt names g with
+        | None -> Hashtbl.replace names g net_name
+        | Some existing when existing = net_name -> ()
+        | Some existing ->
+          let clash = try Hashtbl.find conflicts g with Not_found -> [ existing ] in
+          if not (List.mem net_name clash) then
+            Hashtbl.replace conflicts g (net_name :: clash);
+          (* Keep the lexicographically first name deterministically. *)
+          if net_name < existing then Hashtbl.replace names g net_name)
+      | (Cell.Wire _ | Cell.Device_terminal _ | Cell.Gate _ | Cell.Channel _ | Cell.Cut _), _ -> ())
+    shapes;
+  let name_conflicts =
+    Hashtbl.fold (fun g clash acc -> (g, List.sort compare clash) :: acc) conflicts []
+  in
+  { cell; group_of_shape; members; names; name_conflicts }
+
+let extract cell = build cell ~removed:[]
+let extract_without cell ~removed = build cell ~removed
+
+let net_of_shape t id =
+  if id < 0 || id >= Array.length t.group_of_shape then None
+  else t.group_of_shape.(id)
+
+let nets t = Hashtbl.fold (fun g _ acc -> g :: acc) t.members [] |> List.sort compare
+
+let shapes_of_net t net =
+  try List.sort compare (Hashtbl.find t.members net) with Not_found -> []
+
+let net_name t net = Hashtbl.find_opt t.names net
+
+let net_of_name t name =
+  Hashtbl.fold
+    (fun g n acc -> if n = name && acc = None then Some g else acc)
+    t.names None
+
+let terminals_of_net t net =
+  shapes_of_net t net
+  |> List.filter_map (fun id ->
+         match (Cell.shape t.cell id).owner with
+         | Cell.Device_terminal { device; terminal } -> Some (device, terminal)
+         | Cell.Gate { device } -> Some (device, "g")
+         | Cell.Wire _ | Cell.Channel _ | Cell.Cut _ -> None)
+  |> List.sort_uniq compare
+
+let check_against t netlist =
+  let violations = ref [] in
+  let report fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+  List.iter
+    (fun (g, clash) ->
+      report "net %d shorts distinct labels: %s" g (String.concat ", " clash))
+    t.name_conflicts;
+  (* Every device pin with a shape must land on the net the netlist names. *)
+  Array.iter
+    (fun (s : Cell.shape) ->
+      let pin =
+        match s.owner with
+        | Cell.Device_terminal { device; terminal } -> Some (device, terminal)
+        | Cell.Gate { device } -> Some (device, "g")
+        | Cell.Wire _ | Cell.Channel _ | Cell.Cut _ -> None
+      in
+      match pin with
+      | None -> ()
+      | Some (device, terminal) ->
+        (match net_of_shape t s.id with
+        | None -> report "pin %s.%s has a non-conducting shape" device terminal
+        | Some g ->
+          let expected =
+            try
+              let node =
+                Circuit.Netlist.pin_node netlist
+                  { Circuit.Netlist.device; role = terminal }
+              in
+              Some (Circuit.Netlist.node_name netlist node)
+            with Not_found -> None
+          in
+          (match expected, net_name t g with
+          | None, _ -> report "pin %s.%s not present in netlist" device terminal
+          | Some want, Some got when want <> got ->
+            report "pin %s.%s extracted on net %S, netlist says %S" device
+              terminal got want
+          | Some want, None ->
+            (* Unlabelled net: acceptable only for internal nets; a named
+               node in the netlist must have a labelled wire. *)
+            if String.length want > 0 && want.[0] <> '_' then
+              report "pin %s.%s on unlabelled net, netlist says %S" device
+                terminal want
+          | Some _, Some _ -> ())))
+    (Cell.shapes t.cell);
+  (* All pins of one netlist node must extract into a single group — two
+     disjoint groups sharing a label would otherwise pass silently. *)
+  let group_of_node = Hashtbl.create 16 in
+  Array.iter
+    (fun (s : Cell.shape) ->
+      let pin =
+        match s.owner with
+        | Cell.Device_terminal { device; terminal } -> Some (device, terminal)
+        | Cell.Gate { device } -> Some (device, "g")
+        | Cell.Wire _ | Cell.Channel _ | Cell.Cut _ -> None
+      in
+      match pin, net_of_shape t s.id with
+      | Some (device, terminal), Some g ->
+        (try
+           let node =
+             Circuit.Netlist.pin_node netlist
+               { Circuit.Netlist.device; role = terminal }
+           in
+           let node_key = Circuit.Netlist.index_of_node node in
+           match Hashtbl.find_opt group_of_node node_key with
+           | None -> Hashtbl.replace group_of_node node_key g
+           | Some g0 when g0 = g -> ()
+           | Some _ ->
+             report "pin %s.%s is disconnected from other pins of node %s"
+               device terminal
+               (Circuit.Netlist.node_name netlist node)
+         with Not_found -> ())
+      | (Some _ | None), _ -> ())
+    (Cell.shapes t.cell);
+  List.rev !violations

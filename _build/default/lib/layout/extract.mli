@@ -1,0 +1,52 @@
+(** Connectivity extraction: from drawn geometry to electrical nets.
+
+    Conducting shapes on one layer connect when they touch or overlap;
+    contacts connect poly/active to metal1 and vias connect metal1 to
+    metal2. Channel shapes are not static conductors, so the source and
+    drain of a transistor stay separate — exactly the property the defect
+    analyzer relies on when deciding whether a spot changed the circuit.
+
+    The extraction is also the reference for fault analysis on a damaged
+    cell: [extract_without] recomputes nets with some shapes removed,
+    which is how opens (severed wires, missing contacts) are classified. *)
+
+type t
+
+(** Net identifiers are small ints, stable for one extraction only. *)
+type net = int
+
+val extract : Cell.t -> t
+
+(** [extract_without cell ~removed] extracts pretending the listed shape
+    ids do not exist. *)
+val extract_without : Cell.t -> removed:int list -> t
+
+(** [net_of_shape t id] is the net of a conducting or cut shape; [None]
+    for channels, wells, or removed shapes. *)
+val net_of_shape : t -> int -> net option
+
+(** All nets, each listed once. *)
+val nets : t -> net list
+
+(** [shapes_of_net t net] — member shape ids. *)
+val shapes_of_net : t -> net -> int list
+
+(** [net_name t net] is the name carried by the net's [Wire] labels;
+    [None] when unlabelled. Conflicting labels are reported by
+    {!check_against}, and the lexicographically first name wins here. *)
+val net_name : t -> net -> string option
+
+(** [net_of_name t name] — reverse lookup over wire labels. *)
+val net_of_name : t -> string -> net option
+
+(** [terminals_of_net t net] lists the [(device, terminal)] pins bonded to
+    the net through [Device_terminal] and [Gate] shapes (gates report
+    terminal ["g"]). *)
+val terminals_of_net : t -> net -> (string * string) list
+
+(** [check_against t netlist] verifies the layout implements the netlist:
+    every wire-labelled net is internally consistent (a single name), and
+    every device pin's extracted net carries exactly the node name the
+    netlist gives that pin. Returns the list of human-readable violations
+    (empty = clean). *)
+val check_against : t -> Circuit.Netlist.t -> string list

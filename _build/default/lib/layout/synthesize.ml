@@ -1,0 +1,243 @@
+type options = { tech : Process.Tech.t; track_order : string list }
+
+let default_options = { tech = Process.Tech.cmos1um; track_order = [] }
+
+(* One riser to draw after placement: a pin already contacted to a small
+   metal1 stub at [(x, y)] that must reach the track of [net]. *)
+type pending_riser = { net : string; x : int; stub_y : int }
+
+let nm metres = int_of_float (Float.round (metres *. 1e9))
+
+let clamp v lo hi = max lo (min hi v)
+
+(* Pin riser pitch: metal2 width + spacing with headroom. *)
+let riser_pitch = 3_500
+
+let synthesize ?(options = default_options) netlist ~name =
+  let tech = options.tech in
+  let b = Cell.builder name in
+  let net_of_pin device role =
+    Circuit.Netlist.node_name netlist
+      (Circuit.Netlist.pin_node netlist { Circuit.Netlist.device; role })
+  in
+  let drawable =
+    List.filter
+      (fun (dv : Circuit.Netlist.device_view) ->
+        match dv.kind with
+        | Circuit.Netlist.Resistor _ | Circuit.Netlist.Capacitor _
+        | Circuit.Netlist.Mosfet _ -> true
+        | Circuit.Netlist.Vsource _ | Circuit.Netlist.Isource _ -> false)
+      (Circuit.Netlist.devices netlist)
+  in
+  if drawable = [] then invalid_arg "Synthesize: no drawable device";
+  let risers = ref [] in
+  let rect = Geometry.Rect.of_size in
+  let add ~layer ~rect ~owner = ignore (Cell.add_shape b ~layer ~rect ~owner) in
+  let contact_size = tech.Process.Tech.contact_size in
+  (* A contacted pin: contact cut + metal1 stub, queueing the riser. *)
+  let pin_contact ~under_layer ~device ~terminal ~net ~x ~y =
+    ignore device;
+    ignore terminal;
+    ignore under_layer;
+    add ~layer:Process.Layer.Contact
+      ~rect:(rect ~x ~y ~w:contact_size ~h:contact_size)
+      ~owner:(Cell.Cut { connects_up = true });
+    let stub =
+      rect ~x:(x - 300) ~y:(y - 300) ~w:(contact_size + 600) ~h:(contact_size + 600)
+    in
+    add ~layer:Process.Layer.Metal1 ~rect:stub ~owner:(Cell.Wire net);
+    risers := { net; x = x - 300; stub_y = y - 300 } :: !risers
+  in
+  (* --- device generators; each returns its drawn width ----------------
+     Pin contacts of one device land on three x-slots 3 um apart, so the
+     metal2 risers keep their minimum spacing (DRC-clean by
+     construction). *)
+  let draw_mosfet ~x0 ~device spec =
+    let w_nm = clamp (nm spec.Circuit.Netlist.w) 3_000 60_000 in
+    let l_nm = clamp (nm spec.Circuit.Netlist.l) 1_000 2_000 in
+    let src_w = 2_800 in
+    let y0 = 2_000 in
+    let net_d = net_of_pin device "d"
+    and net_g = net_of_pin device "g"
+    and net_s = net_of_pin device "s" in
+    let slot i = x0 + (i * 3_000) in
+    (* Source / channel / drain slices of the active area. *)
+    add ~layer:Process.Layer.Active
+      ~rect:(rect ~x:x0 ~y:y0 ~w:src_w ~h:w_nm)
+      ~owner:(Cell.Device_terminal { device; terminal = "s" });
+    add ~layer:Process.Layer.Active
+      ~rect:(rect ~x:(x0 + src_w) ~y:y0 ~w:l_nm ~h:w_nm)
+      ~owner:(Cell.Channel { device });
+    add ~layer:Process.Layer.Active
+      ~rect:
+        (Geometry.Rect.create ~x0:(x0 + src_w + l_nm) ~y0
+           ~x1:(x0 + 7_600) ~y1:(y0 + w_nm))
+      ~owner:(Cell.Device_terminal { device; terminal = "d" });
+    (* Gate poly crosses the channel, rises above the active, and straps
+       over field oxide to a contact pad on the middle slot. *)
+    let gate_top = y0 + w_nm + 3_000 in
+    add ~layer:Process.Layer.Poly
+      ~rect:
+        (Geometry.Rect.create ~x0:(x0 + src_w) ~y0:(y0 - 1_000)
+           ~x1:(x0 + src_w + l_nm) ~y1:gate_top)
+      ~owner:(Cell.Gate { device });
+    let pad_x = slot 1 in
+    add ~layer:Process.Layer.Poly
+      ~rect:
+        (Geometry.Rect.create
+           ~x0:(min (x0 + src_w) pad_x)
+           ~y0:(gate_top - 1_700)
+           ~x1:(max (x0 + src_w + l_nm) (pad_x + 1_600))
+           ~y1:gate_top)
+      ~owner:(Cell.Gate { device });
+    pin_contact ~under_layer:Process.Layer.Active ~device ~terminal:"s" ~net:net_s
+      ~x:(slot 0 + 300)
+      ~y:(y0 + 500);
+    pin_contact ~under_layer:Process.Layer.Active ~device ~terminal:"d" ~net:net_d
+      ~x:(slot 2 + 300)
+      ~y:(y0 + 500);
+    pin_contact ~under_layer:Process.Layer.Poly ~device ~terminal:"g" ~net:net_g
+      ~x:(pad_x + 300)
+      ~y:(gate_top - 1_400);
+    7_600
+  in
+  let draw_resistor ~x0 ~device r =
+    let width = tech.Process.Tech.min_width Process.Layer.Poly in
+    let squares = r /. tech.Process.Tech.sheet_resistance Process.Layer.Poly in
+    (* Lower bound keeps the two terminal risers a full metal2 pitch
+       apart. *)
+    let len = clamp (int_of_float (squares *. float_of_int width)) 5_000 80_000 in
+    let y0 = 4_000 in
+    let half = (len / 2) - 500 in
+    let net_p = net_of_pin device "+" and net_n = net_of_pin device "-" in
+    (* The resistive mid-section must not merge the terminal nets during
+       extraction — like a MOS channel, it is a device body, not a wire. *)
+    add ~layer:Process.Layer.Poly
+      ~rect:(rect ~x:x0 ~y:y0 ~w:half ~h:width)
+      ~owner:(Cell.Device_terminal { device; terminal = "+" });
+    add ~layer:Process.Layer.Poly
+      ~rect:(rect ~x:(x0 + half) ~y:y0 ~w:1_000 ~h:width)
+      ~owner:(Cell.Channel { device });
+    add ~layer:Process.Layer.Poly
+      ~rect:(rect ~x:(x0 + half + 1_000) ~y:y0 ~w:(len - half - 1_000) ~h:width)
+      ~owner:(Cell.Device_terminal { device; terminal = "-" });
+    (* Contact landing pads at both ends. *)
+    add ~layer:Process.Layer.Poly
+      ~rect:(rect ~x:x0 ~y:y0 ~w:1_600 ~h:1_700)
+      ~owner:(Cell.Device_terminal { device; terminal = "+" });
+    add ~layer:Process.Layer.Poly
+      ~rect:(rect ~x:(x0 + len - 1_600) ~y:y0 ~w:1_600 ~h:1_700)
+      ~owner:(Cell.Device_terminal { device; terminal = "-" });
+    pin_contact ~under_layer:Process.Layer.Poly ~device ~terminal:"+" ~net:net_p
+      ~x:(x0 + 300) ~y:(y0 + 350);
+    pin_contact ~under_layer:Process.Layer.Poly ~device ~terminal:"-" ~net:net_n
+      ~x:(x0 + len - 1_300)
+      ~y:(y0 + 350);
+    len
+  in
+  let draw_capacitor ~x0 ~device c =
+    (* Poly bottom plate with a metal1 top plate; ~1 fF/µm². The minimum
+       side keeps the top-plate riser a metal2 pitch from the bottom-plate
+       contact riser, and the lip contact sits a metal1 pitch beyond the
+       top plate. *)
+    let area_um2 = c /. 1e-15 in
+    let side = clamp (int_of_float (sqrt area_um2 *. 1_000.)) 6_000 50_000 in
+    let y0 = 3_000 in
+    let net_p = net_of_pin device "+" and net_n = net_of_pin device "-" in
+    add ~layer:Process.Layer.Poly
+      ~rect:(rect ~x:x0 ~y:y0 ~w:(side + 3_200) ~h:side)
+      ~owner:(Cell.Device_terminal { device; terminal = "+" });
+    add ~layer:Process.Layer.Metal1
+      ~rect:(rect ~x:x0 ~y:y0 ~w:side ~h:side)
+      ~owner:(Cell.Device_terminal { device; terminal = "-" });
+    pin_contact ~under_layer:Process.Layer.Poly ~device ~terminal:"+" ~net:net_p
+      ~x:(x0 + side + 1_800)
+      ~y:(y0 + 500);
+    (* Top plate connects straight up: register a riser from the plate. *)
+    risers := { net = net_n; x = x0 + (side / 2); stub_y = y0 + side - 1_600 } :: !risers;
+    side + 3_200
+  in
+  (* --- placement ------------------------------------------------------ *)
+  let cursor = ref 2_000 in
+  let row_top = ref 0 in
+  List.iter
+    (fun (dv : Circuit.Netlist.device_view) ->
+      let x0 = !cursor in
+      let width =
+        match dv.kind with
+        | Circuit.Netlist.Mosfet spec -> draw_mosfet ~x0 ~device:dv.dev_name spec
+        | Circuit.Netlist.Resistor r -> draw_resistor ~x0 ~device:dv.dev_name r
+        | Circuit.Netlist.Capacitor c -> draw_capacitor ~x0 ~device:dv.dev_name c
+        | Circuit.Netlist.Vsource _ | Circuit.Netlist.Isource _ -> assert false
+      in
+      (* Reserve enough pitch that metal2 risers of neighbouring devices
+         keep their spacing. *)
+      cursor := x0 + max (width + 4_000) (3 * riser_pitch);
+      let top =
+        match dv.kind with
+        | Circuit.Netlist.Mosfet spec ->
+          2_000 + clamp (nm spec.Circuit.Netlist.w) 3_000 60_000 + 3_000 + 1_000
+        | Circuit.Netlist.Resistor _ -> 8_000
+        | Circuit.Netlist.Capacitor _ -> 56_000
+        | Circuit.Netlist.Vsource _ | Circuit.Netlist.Isource _ -> assert false
+      in
+      row_top := max !row_top top)
+    drawable;
+  let row_width = !cursor in
+  (* --- routing tracks -------------------------------------------------- *)
+  let m1w = tech.Process.Tech.min_width Process.Layer.Metal1 in
+  let m1s = tech.Process.Tech.min_spacing Process.Layer.Metal1 in
+  let track_pitch = m1w + m1s in
+  let nets_used =
+    List.sort_uniq compare (List.map (fun riser -> riser.net) !risers)
+  in
+  let ordered =
+    let chosen = List.filter (fun n -> List.mem n nets_used) options.track_order in
+    chosen @ List.filter (fun n -> not (List.mem n chosen)) nets_used
+  in
+  let first_track_y = !row_top + 5_000 in
+  let track_y = Hashtbl.create 16 in
+  List.iteri
+    (fun i net -> Hashtbl.replace track_y net (first_track_y + (i * track_pitch)))
+    ordered;
+  (* Tracks are drawn as chains of abutting segments so a missing-material
+     defect severs the wire locally instead of deleting it whole — the
+     open-fault analysis depends on this granularity. *)
+  let segment_length = 20_000 in
+  List.iter
+    (fun net ->
+      let y = Hashtbl.find track_y net in
+      let rec segments x =
+        if x < row_width then begin
+          let w = min segment_length (row_width - x) in
+          add ~layer:Process.Layer.Metal1
+            ~rect:(rect ~x ~y ~w ~h:m1w)
+            ~owner:(Cell.Wire net);
+          segments (x + w)
+        end
+      in
+      segments 0)
+    ordered;
+  (* --- risers ----------------------------------------------------------- *)
+  let m2w = tech.Process.Tech.min_width Process.Layer.Metal2 in
+  let via = tech.Process.Tech.contact_size in
+  List.iter
+    (fun riser ->
+      let y_track = Hashtbl.find track_y riser.net in
+      (* metal2 from the stub up to (and overlapping) the track. *)
+      add ~layer:Process.Layer.Metal2
+        ~rect:
+          (Geometry.Rect.create ~x0:riser.x ~y0:riser.stub_y
+             ~x1:(riser.x + m2w)
+             ~y1:(y_track + m1w))
+        ~owner:(Cell.Wire riser.net);
+      (* via bonding metal2 to the stub metal1 … *)
+      add ~layer:Process.Layer.Via
+        ~rect:(rect ~x:(riser.x + 200) ~y:(riser.stub_y + 200) ~w:via ~h:via)
+        ~owner:(Cell.Cut { connects_up = true });
+      (* … and to the destination track. *)
+      add ~layer:Process.Layer.Via
+        ~rect:(rect ~x:(riser.x + 200) ~y:(y_track + 100) ~w:via ~h:(m1w - 200))
+        ~owner:(Cell.Cut { connects_up = true }))
+    !risers;
+  Cell.finish b

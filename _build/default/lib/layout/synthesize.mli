@@ -1,0 +1,35 @@
+(** Netlist-driven layout synthesis.
+
+    Substitutes for the proprietary cell layouts of the case study (see
+    DESIGN.md §2): devices are placed in a row — MOS transistors as
+    active/channel/gate stacks with contacted source/drain, resistors as
+    poly bars, capacitors as poly/metal1 plate pairs — and every net is
+    routed as a full-width horizontal metal1 track reached through
+    metal2 risers, in the style of early-90s full-custom channel routing.
+
+    The generated layout is electrically faithful: {!Extract.check_against}
+    passes against the source netlist, and the metallization dominates the
+    critical area, reproducing the paper's observation that >95 % of spot
+    defects become shorts.
+
+    The [track_order] option controls which nets occupy adjacent routing
+    tracks. Long parallel neighbouring tracks are exactly where
+    extra-material defects cause shorts, so this knob implements the
+    paper's DfT measure of separating bias lines that carry nearly
+    identical signals. *)
+
+type options = {
+  tech : Process.Tech.t;
+  track_order : string list;
+      (** net names to place on the first routing tracks, in this order;
+          remaining nets follow sorted by name *)
+}
+
+val default_options : options
+
+(** [synthesize ?options netlist ~name] draws the cell. Voltage and
+    current sources are test-bench elements and get no shapes; every
+    resistor, capacitor and MOSFET does. MOS bulk pins are not drawn
+    (they tie to the substrate/well).
+    @raise Invalid_argument if the netlist has no drawable device. *)
+val synthesize : ?options:options -> Circuit.Netlist.t -> name:string -> Cell.t

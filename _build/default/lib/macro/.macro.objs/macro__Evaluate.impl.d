@@ -1,0 +1,1 @@
+lib/macro/evaluate.ml: Circuit Fault Good_space List Logs Macro_cell Process Signature

@@ -1,0 +1,1 @@
+lib/macro/evaluate.mli: Fault Good_space Macro_cell Signature

@@ -1,0 +1,1 @@
+lib/macro/good_space.ml: Format List Macro_cell Option Process Signature Util

@@ -1,0 +1,1 @@
+lib/macro/good_space.mli: Format Macro_cell Process Signature Util

@@ -1,0 +1,1 @@
+lib/macro/macro_cell.ml: Circuit Layout Lazy List Process Signature

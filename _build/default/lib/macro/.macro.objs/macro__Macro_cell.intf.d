@@ -1,0 +1,1 @@
+lib/macro/macro_cell.mli: Circuit Layout Lazy Process Signature

@@ -1,0 +1,1 @@
+lib/macro/signature.mli: Format

@@ -1,0 +1,88 @@
+type outcome = {
+  fault_class : Fault.Collapse.fault_class;
+  signature : Signature.t;
+  simulation_failed : bool;
+}
+
+let src = Logs.Src.create "dotest.macro" ~doc:"macro fault simulation"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let evaluate_class ~(macro : Macro_cell.t) ~good ~golden fc =
+  let nominal =
+    macro.Macro_cell.build
+      (Process.Variation.nominal Process.Tech.cmos1um)
+  in
+  let faulty_netlist =
+    Fault.Inject.inject_instance nominal fc.Fault.Collapse.representative
+  in
+  match macro.Macro_cell.measure faulty_netlist with
+  | vector ->
+    let voltage = macro.Macro_cell.classify_voltage ~golden ~faulty:vector in
+    let currents = Good_space.deviating_currents good vector in
+    { fault_class = fc; signature = { Signature.voltage; currents };
+      simulation_failed = false }
+  | exception Circuit.Engine.No_convergence what ->
+    Log.debug (fun m ->
+        m "fault %a: no convergence (%s) — gross defect"
+          Fault.Types.pp_fault fc.representative.Fault.Types.fault what);
+    {
+      fault_class = fc;
+      signature =
+        { Signature.voltage = Signature.Output_stuck_at;
+          currents = Signature.all_current };
+      simulation_failed = true;
+    }
+
+let run ~(macro : Macro_cell.t) ~good classes =
+  let golden =
+    macro.Macro_cell.measure
+      (macro.Macro_cell.build (Process.Variation.nominal Process.Tech.cmos1um))
+  in
+  List.map (evaluate_class ~macro ~good ~golden) classes
+
+let total_weight outcomes =
+  float_of_int
+    (max 1
+       (List.fold_left
+          (fun acc o -> acc + o.fault_class.Fault.Collapse.count)
+          0 outcomes))
+
+let voltage_table outcomes =
+  let total = total_weight outcomes in
+  List.map
+    (fun v ->
+      let weight =
+        List.fold_left
+          (fun acc o ->
+            if o.signature.Signature.voltage = v then
+              acc + o.fault_class.Fault.Collapse.count
+            else acc)
+          0 outcomes
+      in
+      v, float_of_int weight /. total)
+    Signature.all_voltage
+
+let current_table outcomes =
+  let total = total_weight outcomes in
+  let kind_share k =
+    let weight =
+      List.fold_left
+        (fun acc o ->
+          if List.mem k o.signature.Signature.currents then
+            acc + o.fault_class.Fault.Collapse.count
+          else acc)
+        0 outcomes
+    in
+    k, float_of_int weight /. total
+  in
+  let none_weight =
+    List.fold_left
+      (fun acc o ->
+        if o.signature.Signature.currents = [] then
+          acc + o.fault_class.Fault.Collapse.count
+        else acc)
+      0 outcomes
+  in
+  ( List.map kind_share Signature.all_current,
+    float_of_int none_weight /. total )

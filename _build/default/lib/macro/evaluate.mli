@@ -1,0 +1,42 @@
+(** Fault simulation of a macro: from fault classes to fault signatures.
+
+    Each fault class representative is injected into the macro's nominal
+    netlist, the macro is re-measured, and the faulty vector is classified
+    into the paper's voltage and current signature categories against the
+    good-signature space. A fault that makes the simulation fail to
+    converge even with every fallback is a gross defect: it is classified
+    as stuck with all currents deviating. *)
+
+type outcome = {
+  fault_class : Fault.Collapse.fault_class;
+  signature : Signature.t;
+  simulation_failed : bool;
+}
+
+(** [evaluate_class ~macro ~good ~golden fc] fault-simulates one class.
+    [golden] is the nominal fault-free measurement vector (pass the same
+    one to every call; it is the reference for voltage classification). *)
+val evaluate_class :
+  macro:Macro_cell.t ->
+  good:Good_space.t ->
+  golden:Macro_cell.vector ->
+  Fault.Collapse.fault_class ->
+  outcome
+
+(** [run ~macro ~good classes] evaluates every class (in order),
+    measuring the golden vector once. *)
+val run :
+  macro:Macro_cell.t ->
+  good:Good_space.t ->
+  Fault.Collapse.fault_class list ->
+  outcome list
+
+(** [voltage_table outcomes] tabulates the share of faults (weighted by
+    class magnitude) per voltage signature — one column of Table 2. *)
+val voltage_table : outcome list -> (Signature.voltage * float) list
+
+(** [current_table outcomes] — share of faults whose signature deviates in
+    each current, plus the share with no current deviation (Table 3; the
+    kind shares can sum to more than 1 because of overlap). *)
+val current_table :
+  outcome list -> (Signature.current_kind * float) list * float

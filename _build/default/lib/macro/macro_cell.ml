@@ -1,0 +1,16 @@
+type vector = (string * float) list
+
+type t = {
+  name : string;
+  build : Process.Variation.sample -> Circuit.Netlist.t;
+  cell : Layout.Cell.t Lazy.t;
+  measure : Circuit.Netlist.t -> vector;
+  classify_voltage : golden:vector -> faulty:vector -> Signature.voltage;
+  instances : int;
+}
+
+let get vector name = List.assoc name vector
+let get_opt vector name = List.assoc_opt name vector
+
+let area_weight t =
+  float_of_int (Layout.Cell.area (Lazy.force t.cell)) *. float_of_int t.instances

@@ -1,0 +1,39 @@
+(** The macro-cell abstraction: the unit of divide-and-conquer analysis.
+
+    A macro bundles everything the per-macro defect-oriented test path of
+    Fig. 1 needs: a variation-aware netlist builder (macro plus embedded
+    test bench), a synthesized layout, a measurement procedure producing a
+    named scalar vector, and a voltage-signature classifier comparing a
+    faulty vector against the golden one.
+
+    Measurement naming convention: current measurements carry an [ivdd:],
+    [iddq:] or [iin:] prefix and are classified generically against the
+    good-signature windows; anything else is voltage-domain and is
+    interpreted by the macro's own [classify_voltage]. *)
+
+type vector = (string * float) list
+
+type t = {
+  name : string;
+  build : Process.Variation.sample -> Circuit.Netlist.t;
+      (** netlist of the macro with its test bench, at a given process/
+          supply/temperature point *)
+  cell : Layout.Cell.t Lazy.t;
+      (** synthesized layout (lazy: building it costs real time) *)
+  measure : Circuit.Netlist.t -> vector;
+      (** run the analyses and extract the signature measurements *)
+  classify_voltage : golden:vector -> faulty:vector -> Signature.voltage;
+      (** macro-specific interpretation of the voltage-domain
+          measurements *)
+  instances : int;
+      (** number of copies of this macro in the full circuit *)
+}
+
+(** [get vector name] @raise Not_found when absent. *)
+val get : vector -> string -> float
+
+val get_opt : vector -> string -> float option
+
+(** [area_weight macro] — layout area × instance count, the global-scaling
+    weight (defect density is uniform per unit area). *)
+val area_weight : t -> float

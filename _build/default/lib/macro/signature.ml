@@ -1,0 +1,41 @@
+type voltage =
+  | Output_stuck_at
+  | Offset_too_large
+  | Mixed
+  | Clock_value
+  | No_voltage_deviation
+
+let voltage_name = function
+  | Output_stuck_at -> "Output Stuck At"
+  | Offset_too_large -> "Offset (> 8mV)"
+  | Mixed -> "Mixed"
+  | Clock_value -> "Clock value"
+  | No_voltage_deviation -> "No deviations"
+
+let all_voltage =
+  [ Output_stuck_at; Offset_too_large; Mixed; Clock_value; No_voltage_deviation ]
+
+type current_kind = IVdd | IDDQ | Iinput
+
+let current_name = function
+  | IVdd -> "IVdd"
+  | IDDQ -> "IDDQ"
+  | Iinput -> "Iinput"
+
+let all_current = [ IVdd; IDDQ; Iinput ]
+
+type t = { voltage : voltage; currents : current_kind list }
+
+let fault_free = { voltage = No_voltage_deviation; currents = [] }
+
+let current_kind_of_measurement name =
+  let prefixed p = String.length name >= String.length p
+                   && String.sub name 0 (String.length p) = p in
+  if prefixed "ivdd:" then Some IVdd
+  else if prefixed "iddq:" then Some IDDQ
+  else if prefixed "iin:" then Some Iinput
+  else None
+
+let pp ppf t =
+  Format.fprintf ppf "%s / [%s]" (voltage_name t.voltage)
+    (String.concat "," (List.map current_name t.currents))

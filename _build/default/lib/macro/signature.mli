@@ -1,0 +1,46 @@
+(** Fault signatures at the macro level (paper Tables 2 and 3).
+
+    A fault signature models the faulty behaviour at the edge of the macro
+    cell in just enough detail to decide detectability of the simple test
+    methods: five voltage categories and three observable DC currents. *)
+
+(** Voltage-domain behaviour of the faulty macro. *)
+type voltage =
+  | Output_stuck_at
+      (** the macro output no longer follows the input at all *)
+  | Offset_too_large
+      (** functional, but input-referred offset beyond the limit
+          (8 mV — half an LSB of the case-study ADC) *)
+  | Mixed
+      (** erratic behaviour: decisions flip inconsistently *)
+  | Clock_value
+      (** the macro works, but a clock/bias distribution line it loads
+          sits at a deviating level *)
+  | No_voltage_deviation
+
+val voltage_name : voltage -> string
+val all_voltage : voltage list
+
+(** The three DC currents observable at the circuit edge (§3.2). *)
+type current_kind =
+  | IVdd    (** analog supply current *)
+  | IDDQ    (** quiescent supply of the digital part (clock generator) *)
+  | Iinput  (** current drawn from / supplied to an input terminal *)
+
+val current_name : current_kind -> string
+val all_current : current_kind list
+
+(** Complete macro-level signature of one fault class. *)
+type t = {
+  voltage : voltage;
+  currents : current_kind list;  (** deviating beyond 3σ; [] = none *)
+}
+
+val fault_free : t
+
+(** [current_kind_of_measurement name] sorts a measurement into a current
+    class by its name prefix ([ivdd:], [iddq:], [iin:]); [None] for
+    voltage-domain measurements. *)
+val current_kind_of_measurement : string -> current_kind option
+
+val pp : Format.formatter -> t -> unit

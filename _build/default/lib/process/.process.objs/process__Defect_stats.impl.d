@@ -1,0 +1,1 @@
+lib/process/defect_stats.ml: Format Layer List Util

@@ -1,0 +1,1 @@
+lib/process/defect_stats.mli: Format Layer Util

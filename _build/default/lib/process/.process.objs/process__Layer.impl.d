@@ -1,0 +1,1 @@
+lib/process/layer.ml: Format Stdlib

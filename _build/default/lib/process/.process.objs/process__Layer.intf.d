@@ -1,0 +1,1 @@
+lib/process/layer.mli: Format

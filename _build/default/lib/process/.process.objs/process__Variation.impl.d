@@ -1,0 +1,1 @@
+lib/process/variation.ml: Distribution Format List Prng Tech Util

@@ -1,0 +1,1 @@
+lib/process/variation.mli: Format Tech Util

@@ -1,0 +1,31 @@
+type t = Nwell | Active | Poly | Contact | Metal1 | Via | Metal2
+
+let all = [ Nwell; Active; Poly; Contact; Metal1; Via; Metal2 ]
+let conducting = [ Active; Poly; Metal1; Metal2 ]
+
+let is_conducting = function
+  | Active | Poly | Metal1 | Metal2 -> true
+  | Nwell | Contact | Via -> false
+
+let is_cut = function
+  | Contact | Via -> true
+  | Nwell | Active | Poly | Metal1 | Metal2 -> false
+
+let connects = function
+  | Contact -> Poly, Metal1 (* also Active-Metal1; resolved by what lies under *)
+  | Via -> Metal1, Metal2
+  | Nwell | Active | Poly | Metal1 | Metal2 ->
+    invalid_arg "Layer.connects: not a cut layer"
+
+let name = function
+  | Nwell -> "nwell"
+  | Active -> "active"
+  | Poly -> "poly"
+  | Contact -> "contact"
+  | Metal1 -> "metal1"
+  | Via -> "via"
+  | Metal2 -> "metal2"
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let pp ppf t = Format.pp_print_string ppf (name t)

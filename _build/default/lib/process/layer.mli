@@ -1,0 +1,36 @@
+(** Mask layers of the single-poly double-metal CMOS process.
+
+    The case-study ADC is fabricated in an early-90s CMOS process; the
+    layer set below carries everything the defect simulator needs:
+    conducting layers that can short or open, the gate stack for oxide
+    pinholes, and contacts/vias for extra-contact defects. *)
+
+type t =
+  | Nwell
+  | Active       (** diffusion: transistor source/drain and well ties *)
+  | Poly         (** polysilicon: gates and short interconnect/resistors *)
+  | Contact      (** active/poly to metal1 *)
+  | Metal1
+  | Via          (** metal1 to metal2 *)
+  | Metal2
+
+(** All layers, bottom-up. *)
+val all : t list
+
+(** Layers that carry signal current and can be shorted or opened by spot
+    defects: [Active], [Poly], [Metal1], [Metal2]. *)
+val conducting : t list
+
+val is_conducting : t -> bool
+
+(** Layers connecting two conducting layers vertically. *)
+val is_cut : t -> bool
+
+(** [connects layer] is the pair of conducting layers a cut layer joins.
+    @raise Invalid_argument on a non-cut layer. *)
+val connects : t -> t * t
+
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/testgen/detection.ml: Adc Format Fun List Macro String

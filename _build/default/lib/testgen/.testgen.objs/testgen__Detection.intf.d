@@ -1,0 +1,1 @@
+lib/testgen/detection.mli: Format Macro Util

@@ -1,0 +1,1 @@
+lib/testgen/overlap.ml: Detection Fault Format Hashtbl List Macro

@@ -1,0 +1,1 @@
+lib/testgen/overlap.mli: Detection Format Macro

@@ -1,0 +1,1 @@
+lib/testgen/quality.ml: Float

@@ -1,0 +1,1 @@
+lib/testgen/test_time.ml: Adc Format

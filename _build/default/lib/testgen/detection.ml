@@ -1,0 +1,61 @@
+type mechanisms = {
+  missing_code : bool;
+  ivdd : bool;
+  iddq : bool;
+  iinput : bool;
+}
+
+let none = { missing_code = false; ivdd = false; iddq = false; iinput = false }
+
+let of_signature (s : Macro.Signature.t) =
+  let missing_code =
+    match s.voltage with
+    | Macro.Signature.Output_stuck_at | Macro.Signature.Offset_too_large -> true
+    | Macro.Signature.Mixed | Macro.Signature.Clock_value
+    | Macro.Signature.No_voltage_deviation -> false
+  in
+  {
+    missing_code;
+    ivdd = List.mem Macro.Signature.IVdd s.currents;
+    iddq = List.mem Macro.Signature.IDDQ s.currents;
+    iinput = List.mem Macro.Signature.Iinput s.currents;
+  }
+
+let of_outcome (o : Macro.Evaluate.outcome) = of_signature o.signature
+
+let voltage_detected m = m.missing_code
+let current_detected m = m.ivdd || m.iddq || m.iinput
+let detected m = voltage_detected m || current_detected m
+
+let propagate_voltage ?(samples = 1000) voltage prng =
+  let comparator_index = Adc.Flash_adc.comparators / 2 in
+  let adc =
+    match voltage with
+    | Macro.Signature.Output_stuck_at ->
+      Adc.Flash_adc.with_comparator Adc.Flash_adc.ideal comparator_index
+        Adc.Flash_adc.Stuck_high
+    | Macro.Signature.Offset_too_large ->
+      (* Just beyond the 8 mV limit: more than one LSB of input-referred
+         offset. *)
+      Adc.Flash_adc.with_comparator Adc.Flash_adc.ideal comparator_index
+        (Adc.Flash_adc.Functional (1.5 *. Adc.Params.offset_limit))
+    | Macro.Signature.Mixed ->
+      Adc.Flash_adc.with_comparator Adc.Flash_adc.ideal comparator_index
+        Adc.Flash_adc.Erratic
+    | Macro.Signature.Clock_value | Macro.Signature.No_voltage_deviation ->
+      Adc.Flash_adc.ideal
+  in
+  Adc.Flash_adc.missing_codes adc prng ~samples <> []
+
+let pp ppf m =
+  let tags =
+    List.filter_map Fun.id
+      [
+        (if m.missing_code then Some "missing-code" else None);
+        (if m.ivdd then Some "IVdd" else None);
+        (if m.iddq then Some "IDDQ" else None);
+        (if m.iinput then Some "Iinput" else None);
+      ]
+  in
+  Format.pp_print_string ppf
+    (match tags with [] -> "undetected" | tags -> String.concat "+" tags)

@@ -1,0 +1,43 @@
+(** Detection: from macro-level fault signatures to circuit-edge verdicts.
+
+    This is the sensitization/propagation step of the test path (§2-3.2).
+    Current signatures need no propagation — they are already defined as
+    deviations of currents at circuit terminals. Voltage signatures map
+    one-to-one onto the missing-code test: the [Output_stuck_at] and
+    [Offset_too_large] categories produce missing output codes, the
+    others do not (paper: "the first two fault signature categories cause
+    missing codes, the others do not"). [propagate_voltage] validates
+    that mapping against the behavioural converter model. *)
+
+(** Which of the four detection mechanisms catch a fault. *)
+type mechanisms = {
+  missing_code : bool;
+  ivdd : bool;
+  iddq : bool;
+  iinput : bool;
+}
+
+val none : mechanisms
+
+(** [of_signature s] applies the propagation mapping. *)
+val of_signature : Macro.Signature.t -> mechanisms
+
+val of_outcome : Macro.Evaluate.outcome -> mechanisms
+
+(** Voltage-detected = caught by the missing-code measurement. *)
+val voltage_detected : mechanisms -> bool
+
+(** Current-detected = any of the three current measurements deviates. *)
+val current_detected : mechanisms -> bool
+
+val detected : mechanisms -> bool
+
+(** [propagate_voltage signature] builds a one-faulty-comparator
+    behavioural ADC exhibiting the signature and runs the missing-code
+    stimulus, returning whether any code is lost. Agreement with
+    [of_signature] (checked in the test suite and exercised by the
+    examples) is the justification for the one-to-one mapping. *)
+val propagate_voltage :
+  ?samples:int -> Macro.Signature.voltage -> Util.Prng.t -> bool
+
+val pp : Format.formatter -> mechanisms -> unit

@@ -1,0 +1,80 @@
+type cell = { combination : Detection.mechanisms; share : float }
+
+let partition outcomes =
+  let total =
+    float_of_int
+      (max 1
+         (List.fold_left
+            (fun acc (o : Macro.Evaluate.outcome) ->
+              acc + o.fault_class.Fault.Collapse.count)
+            0 outcomes))
+  in
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (o : Macro.Evaluate.outcome) ->
+      let mechanisms = Detection.of_outcome o in
+      let weight = o.fault_class.Fault.Collapse.count in
+      let existing = try Hashtbl.find table mechanisms with Not_found -> 0 in
+      Hashtbl.replace table mechanisms (existing + weight))
+    outcomes;
+  Hashtbl.fold
+    (fun combination weight acc ->
+      { combination; share = float_of_int weight /. total } :: acc)
+    table []
+  |> List.sort (fun a b -> compare b.share a.share)
+
+type venn = {
+  voltage_only : float;
+  both : float;
+  current_only : float;
+  undetected : float;
+}
+
+let venn_of_partition cells =
+  List.fold_left
+    (fun acc { combination; share } ->
+      let v = Detection.voltage_detected combination in
+      let c = Detection.current_detected combination in
+      match v, c with
+      | true, false -> { acc with voltage_only = acc.voltage_only +. share }
+      | true, true -> { acc with both = acc.both +. share }
+      | false, true -> { acc with current_only = acc.current_only +. share }
+      | false, false -> { acc with undetected = acc.undetected +. share })
+    { voltage_only = 0.; both = 0.; current_only = 0.; undetected = 0. }
+    cells
+
+let coverage venn = 1.0 -. venn.undetected
+
+let mechanism_share cells =
+  let share_of pred =
+    List.fold_left
+      (fun acc { combination; share } ->
+        if pred combination then acc +. share else acc)
+      0.0 cells
+  in
+  [
+    "missing-code", share_of (fun m -> m.Detection.missing_code);
+    "IVdd", share_of (fun m -> m.Detection.ivdd);
+    "IDDQ", share_of (fun m -> m.Detection.iddq);
+    "Iinput", share_of (fun m -> m.Detection.iinput);
+  ]
+
+let only_detected_by cells ~mechanism =
+  let matches (m : Detection.mechanisms) =
+    match mechanism with
+    | "missing-code" -> m.missing_code && not (m.ivdd || m.iddq || m.iinput)
+    | "IVdd" -> m.ivdd && not (m.missing_code || m.iddq || m.iinput)
+    | "IDDQ" -> m.iddq && not (m.missing_code || m.ivdd || m.iinput)
+    | "Iinput" -> m.iinput && not (m.missing_code || m.ivdd || m.iddq)
+    | _ -> invalid_arg "Overlap.only_detected_by: unknown mechanism"
+  in
+  List.fold_left
+    (fun acc { combination; share } ->
+      if matches combination then acc +. share else acc)
+    0.0 cells
+
+let pp_venn ppf v =
+  Format.fprintf ppf
+    "voltage-only %.1f%% / both %.1f%% / current-only %.1f%% / undetected %.1f%%"
+    (100. *. v.voltage_only) (100. *. v.both) (100. *. v.current_only)
+    (100. *. v.undetected)

@@ -1,0 +1,38 @@
+(** Detection-mechanism overlap analysis (Fig. 3 / Fig. 4 of the paper).
+
+    Faults are partitioned by the exact set of mechanisms that detect
+    them; shares are weighted by fault-class magnitude. The partition
+    drives both the per-macro overlap picture (missing-code × IVdd ×
+    IDDQ × Iinput, Fig. 3) and the global voltage/current Venn
+    (voltage-only / both / current-only / undetected, Fig. 4/5). *)
+
+(** A weighted partition cell: a mechanism combination and its share of
+    all faults (weights sum to 1 over the whole partition). *)
+type cell = { combination : Detection.mechanisms; share : float }
+
+val partition : Macro.Evaluate.outcome list -> cell list
+
+(** Aggregated voltage/current view of a partition (shares in \[0, 1\]):
+    Fig. 4's three regions plus the undetected remainder. *)
+type venn = {
+  voltage_only : float;
+  both : float;
+  current_only : float;
+  undetected : float;
+}
+
+val venn_of_partition : cell list -> venn
+
+(** Total fault coverage, [1 - undetected]. *)
+val coverage : venn -> float
+
+(** Shares detected by each single mechanism (overlaps included) and the
+    share detectable by exactly one mechanism class. *)
+val mechanism_share : cell list -> (string * float) list
+
+(** [only_detected_by cells ~mechanism] — share of faults detected by the
+    named mechanism ("missing-code", "IVdd", "IDDQ", "Iinput") and by
+    nothing else. *)
+val only_detected_by : cell list -> mechanism:string -> float
+
+val pp_venn : Format.formatter -> venn -> unit

@@ -1,0 +1,26 @@
+let poisson_yield ~area_mm2 ~defects_per_cm2 =
+  if area_mm2 < 0. || defects_per_cm2 < 0. then
+    invalid_arg "Quality.poisson_yield: negative argument";
+  exp (-.area_mm2 /. 100.0 *. defects_per_cm2)
+
+let defect_level ~yield ~coverage =
+  if yield <= 0. || yield > 1. then
+    invalid_arg "Quality.defect_level: yield must be in (0, 1]";
+  if coverage < 0. || coverage > 1. then
+    invalid_arg "Quality.defect_level: coverage must be in [0, 1]";
+  1.0 -. (yield ** (1.0 -. coverage))
+
+let dpm ~yield ~coverage = 1e6 *. defect_level ~yield ~coverage
+
+let required_coverage ~yield ~target_dpm =
+  if target_dpm <= 0. then
+    invalid_arg "Quality.required_coverage: target must be positive";
+  if yield <= 0. || yield >= 1. then
+    invalid_arg "Quality.required_coverage: yield must be in (0, 1)";
+  let target_dl = target_dpm /. 1e6 in
+  if target_dl >= 1.0 -. yield then 0.0
+  else begin
+    (* Invert DL = 1 - Y^(1-T):  T = 1 - ln(1 - DL) / ln Y. *)
+    let coverage = 1.0 -. (log (1.0 -. target_dl) /. log yield) in
+    Float.min 1.0 (Float.max 0.0 coverage)
+  end

@@ -1,0 +1,31 @@
+(** Outgoing product quality: from fault coverage to defect level.
+
+    The paper's motivation is economic: limited functional verification
+    lets defective parts ship ("causing potential reliability problems").
+    This module quantifies that with the classic production models:
+
+    - Poisson yield: [Y = exp (-A·D)] for die area [A] and defect
+      density [D];
+    - Williams–Brown defect level: [DL = 1 - Y^(1-T)] — the fraction of
+      shipped parts that are defective, given yield [Y] and fault
+      coverage [T].
+
+    Used by the benchmark harness to translate the measured coverage
+    (before and after DfT) into parts-per-million escape rates. *)
+
+(** [poisson_yield ~area_mm2 ~defects_per_cm2] — fraction of fault-free
+    dies. Both arguments must be non-negative. *)
+val poisson_yield : area_mm2:float -> defects_per_cm2:float -> float
+
+(** [defect_level ~yield ~coverage] — Williams–Brown. [yield] in (0, 1],
+    [coverage] in [0, 1]. *)
+val defect_level : yield:float -> coverage:float -> float
+
+(** [dpm ~yield ~coverage] — defective parts per million shipped. *)
+val dpm : yield:float -> coverage:float -> float
+
+(** [required_coverage ~yield ~target_dpm] — the fault coverage needed to
+    reach a target escape rate at a given yield.
+    @raise Invalid_argument when the target is unreachable ([yield] = 1
+    needs no coverage; [target_dpm] must be positive). *)
+val required_coverage : yield:float -> target_dpm:float -> float

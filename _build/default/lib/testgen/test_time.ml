@@ -1,0 +1,18 @@
+let missing_code_samples = 1000
+
+let missing_code_time ~samples = float_of_int samples *. Adc.Params.period
+
+let current_measurements = 6
+let settle_time = 100e-6
+let current_test_time = float_of_int current_measurements *. settle_time
+
+let total = missing_code_time ~samples:missing_code_samples +. current_test_time
+
+let pp_budget ppf () =
+  Format.fprintf ppf
+    "missing-code: %d samples x %.0f ns = %.0f us; current: %d x %.0f us = %.0f us; total %.0f us"
+    missing_code_samples
+    (Adc.Params.period *. 1e9)
+    (missing_code_time ~samples:missing_code_samples *. 1e6)
+    current_measurements (settle_time *. 1e6) (current_test_time *. 1e6)
+    (total *. 1e6)

@@ -1,0 +1,25 @@
+(** The test-time model of §3.2.
+
+    The missing-code test samples a triangular waveform at full conversion
+    speed; the current test performs six DC measurements (three phases ×
+    two input polarities), each needing a settling wait for transients to
+    die out. *)
+
+val missing_code_samples : int
+(** 1000, the paper's stimulus length. *)
+
+val missing_code_time : samples:int -> float
+(** [samples] conversions at full speed. *)
+
+val current_measurements : int
+(** 6 = 3 phases × 2 input conditions. *)
+
+val settle_time : float
+(** 100 µs per DC current measurement. *)
+
+val current_test_time : float
+
+(** Total simple-test time: ramp + current measurements. *)
+val total : float
+
+val pp_budget : Format.formatter -> unit -> unit

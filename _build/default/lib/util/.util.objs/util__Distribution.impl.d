@@ -1,0 +1,1 @@
+lib/util/distribution.ml: Array Float List Prng

@@ -1,0 +1,1 @@
+lib/util/table.ml: Format List Option Printf String

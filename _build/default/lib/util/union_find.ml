@@ -1,0 +1,47 @@
+type t = { parent : int array; rank : int array; mutable sets : int }
+
+let create n =
+  if n < 0 then invalid_arg "Union_find.create: negative size";
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; sets = n }
+
+let size t = Array.length t.parent
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri = rj then false
+  else begin
+    t.sets <- t.sets - 1;
+    if t.rank.(ri) < t.rank.(rj) then t.parent.(ri) <- rj
+    else if t.rank.(ri) > t.rank.(rj) then t.parent.(rj) <- ri
+    else begin
+      t.parent.(rj) <- ri;
+      t.rank.(ri) <- t.rank.(ri) + 1
+    end;
+    true
+  end
+
+let same t i j = find t i = find t j
+let set_count t = t.sets
+
+let groups t =
+  let n = size t in
+  let table = Hashtbl.create (max 16 n) in
+  for i = n - 1 downto 0 do
+    let root = find t i in
+    let members = try Hashtbl.find table root with Not_found -> [] in
+    Hashtbl.replace table root (i :: members)
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) table []
+  |> List.sort (fun a b ->
+         match a, b with
+         | x :: _, y :: _ -> compare x y
+         | _, _ -> assert false)

@@ -1,0 +1,29 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used by layout connectivity extraction (merging shapes into nets) and
+    by fault collapsing (merging equivalent circuit-level faults). *)
+
+type t
+
+(** [create n] builds [n] singleton sets labelled [0 .. n-1]. *)
+val create : int -> t
+
+(** Number of elements. *)
+val size : t -> int
+
+(** [find t i] is the canonical representative of [i]'s set. *)
+val find : t -> int -> int
+
+(** [union t i j] merges the sets of [i] and [j]; returns [true] when the
+    sets were previously distinct. *)
+val union : t -> int -> int -> bool
+
+(** [same t i j] tests whether [i] and [j] are in one set. *)
+val same : t -> int -> int -> bool
+
+(** Number of disjoint sets currently represented. *)
+val set_count : t -> int
+
+(** [groups t] lists the sets, each as the list of its members in
+    increasing order; groups are ordered by their smallest member. *)
+val groups : t -> int list list

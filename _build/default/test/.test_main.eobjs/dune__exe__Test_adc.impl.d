@@ -1,0 +1,1 @@
+test/test_adc.ml: Adc Alcotest Array Circuit Float Fun Geometry Layout Lazy List Macro Printf Process Util

@@ -1,0 +1,1 @@
+test/test_amplifier.ml: Alcotest Amplifier Core Fault Float Layout Lazy List Macro Process

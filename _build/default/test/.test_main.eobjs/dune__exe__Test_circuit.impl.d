@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Complex Engine Float Gen Linear List Mos_model Netlist Printf QCheck QCheck_alcotest Test Waveform

@@ -1,0 +1,1 @@
+test/test_core.ml: Adc Alcotest Core Dft Fault Lazy List Macro Printf String Testgen Util

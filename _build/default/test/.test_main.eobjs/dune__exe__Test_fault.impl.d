@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Circuit Defect Fault Float Gen Geometry Layout List Process QCheck QCheck_alcotest Test Util

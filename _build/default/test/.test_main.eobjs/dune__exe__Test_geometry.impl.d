@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Circle Format Gen Geometry List Option QCheck QCheck_alcotest Rect Spatial_index Test

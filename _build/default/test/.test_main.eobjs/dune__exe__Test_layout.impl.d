@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Cell Circuit Drc Extract Geometry Layout List Printf Process QCheck QCheck_alcotest Synthesize Test

@@ -1,0 +1,1 @@
+test/test_macro.ml: Alcotest Circuit Fault Float Layout List Macro Process Util

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_adc Test_amplifier Test_circuit Test_core Test_fault Test_geometry Test_layout Test_macro Test_spice Test_testgen Test_util

@@ -1,0 +1,1 @@
+test/test_spice.ml: Adc Alcotest Circuit Engine Gen List Netlist Printf Process QCheck QCheck_alcotest Spice String Test

@@ -1,0 +1,1 @@
+test/test_testgen.ml: Adc Alcotest Fault Float List Macro Process QCheck QCheck_alcotest Testgen Util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Distribution Float Fun Gen Int64 List Prng QCheck QCheck_alcotest Stats String Table Test Union_find Util

@@ -1,0 +1,131 @@
+(* Tests for the Class-AB amplifier case study. *)
+
+let nominal = Process.Variation.nominal Process.Tech.cmos1um
+
+let golden =
+  lazy
+    (let macro = Amplifier.Class_ab.macro () in
+     macro.Macro.Macro_cell.measure (macro.Macro.Macro_cell.build nominal))
+
+let get name = Macro.Macro_cell.get (Lazy.force golden) name
+
+let test_follower_tracks () =
+  (* The two-stage loop keeps the follower within tens of millivolts. *)
+  List.iter
+    (fun name -> Alcotest.(check bool) name true (Float.abs (get name) < 0.1))
+    [ "v:dc:track:lo"; "v:dc:track:mid"; "v:dc:track:hi" ]
+
+let test_step_settles () =
+  (* The settled output after a 2.0 -> 3.0 V step sits near 3 V (minus the
+     static tracking error). *)
+  Alcotest.(check bool) "settled near 3V" true
+    (Float.abs (get "v:tr:settle" -. 3.0) < 0.1);
+  Alcotest.(check bool) "slewing sample between rails" true
+    (get "v:tr:slew" > 2.0 && get "v:tr:slew" < 3.2)
+
+let test_ac_passband_unity () =
+  Alcotest.(check bool) "~0 dB in passband" true
+    (Float.abs (get "v:ac:pass") < 1.0)
+
+let test_quiescent_current () =
+  (* Bias + tail + output stage: hundreds of microamps, well-defined. *)
+  let q = get "ivdd:q" in
+  Alcotest.(check bool) "class-A/B quiescent" true (q > 50e-6 && q < 1e-3)
+
+let test_layout_clean () =
+  let macro = Amplifier.Class_ab.macro () in
+  let cell = Lazy.force macro.Macro.Macro_cell.cell in
+  Alcotest.(check (list string)) "LVS" []
+    (Layout.Extract.check_against
+       (Layout.Extract.extract cell)
+       (Amplifier.Class_ab.layout_netlist ()));
+  Alcotest.(check int) "DRC" 0 (List.length (Layout.Drc.check cell))
+
+let test_family_classification () =
+  let f = Amplifier.Class_ab.family_of_measurement in
+  Alcotest.(check bool) "dc" true (f "v:dc:track:lo" = Some Amplifier.Class_ab.Dc);
+  Alcotest.(check bool) "transient" true (f "v:tr:slew" = Some Amplifier.Class_ab.Transient);
+  Alcotest.(check bool) "ac" true (f "v:ac:pass" = Some Amplifier.Class_ab.Ac);
+  Alcotest.(check bool) "current" true (f "ivdd:q" = Some Amplifier.Class_ab.Current);
+  Alcotest.(check bool) "other" true (f "v:misc" = None)
+
+let study =
+  lazy
+    (Amplifier.Study.run
+       ~config:
+         { Core.Pipeline.default_config with defects = 8_000; good_space_dies = 16 }
+       ())
+
+let test_study_shape () =
+  let result = Lazy.force study in
+  Alcotest.(check bool) "found faults" true
+    (result.Amplifier.Study.reports <> []);
+  let combined = Amplifier.Study.coverage result in
+  Alcotest.(check bool) "most defects detectable" true (combined > 0.8);
+  Alcotest.(check bool) "but not all (parametric escapes)" true (combined < 1.0);
+  (* Each family's coverage cannot exceed the combined coverage. *)
+  List.iter
+    (fun (_, share) ->
+      Alcotest.(check bool) "family <= combined" true (share <= combined +. 1e-9))
+    (Amplifier.Study.family_coverage result)
+
+let test_study_exclusive_sums () =
+  let result = Lazy.force study in
+  let exclusive_total =
+    List.fold_left
+      (fun acc (_, share) -> acc +. share)
+      0.0
+      (Amplifier.Study.exclusive_coverage result)
+  in
+  Alcotest.(check bool) "exclusive <= combined" true
+    (exclusive_total <= Amplifier.Study.coverage result +. 1e-9)
+
+let test_study_hard_fault_trips_families () =
+  (* Grounding the first-stage output kills the loop: DC, transient and
+     AC must all see it. (A supply-to-ground short, by contrast, is
+     masked from the voltage domains by the ideal bench supply and only
+     shows in the current — also checked.) *)
+  let macro = Amplifier.Class_ab.macro () in
+  let nl = macro.Macro.Macro_cell.build nominal in
+  let result = Lazy.force study in
+  let families_of fault =
+    let faulty = Fault.Inject.inject nl fault in
+    let vector = macro.Macro.Macro_cell.measure faulty in
+    Macro.Good_space.deviating result.analysis.Core.Pipeline.good vector
+    |> List.filter_map Amplifier.Class_ab.family_of_measurement
+    |> List.sort_uniq compare
+  in
+  let bridge a b =
+    Fault.Types.Bridge
+      { net_a = a; net_b = b; resistance = 10.0; capacitance = None;
+        origin = Fault.Types.Short }
+  in
+  let dead_loop = families_of (bridge "o1" "0") in
+  List.iter
+    (fun family ->
+      Alcotest.(check bool)
+        (Amplifier.Class_ab.family_name family ^ " sees dead loop")
+        true
+        (List.mem family dead_loop))
+    [ Amplifier.Class_ab.Dc; Amplifier.Class_ab.Transient; Amplifier.Class_ab.Ac ];
+  Alcotest.(check bool) "supply short is current-only" true
+    (families_of (bridge "vdd" "0") = [ Amplifier.Class_ab.Current ])
+
+let suites =
+  [
+    ( "amplifier.class_ab",
+      [
+        Alcotest.test_case "follower tracks" `Quick test_follower_tracks;
+        Alcotest.test_case "step settles" `Quick test_step_settles;
+        Alcotest.test_case "ac passband" `Quick test_ac_passband_unity;
+        Alcotest.test_case "quiescent current" `Quick test_quiescent_current;
+        Alcotest.test_case "layout clean" `Quick test_layout_clean;
+        Alcotest.test_case "family classification" `Quick test_family_classification;
+      ] );
+    ( "amplifier.study",
+      [
+        Alcotest.test_case "shape" `Slow test_study_shape;
+        Alcotest.test_case "exclusive sums" `Slow test_study_exclusive_sums;
+        Alcotest.test_case "hard faults trip families" `Slow test_study_hard_fault_trips_families;
+      ] );
+  ]

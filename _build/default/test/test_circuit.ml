@@ -1,0 +1,593 @@
+(* Unit and property tests for the dotest.circuit analog simulator. *)
+
+open Circuit
+
+let check_float tolerance = Alcotest.(check (float tolerance))
+
+(* ------------------------------------------------------------------ *)
+(* Linear                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_linear_known_2x2 () =
+  let a = [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let b = [| 5.; 10. |] in
+  let x = Linear.solve_copy a b in
+  check_float 1e-9 "x0" 1.0 x.(0);
+  check_float 1e-9 "x1" 3.0 x.(1)
+
+let test_linear_needs_pivoting () =
+  (* Zero on the initial pivot position forces a row swap. *)
+  let a = [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let b = [| 2.; 3. |] in
+  let x = Linear.solve_copy a b in
+  check_float 1e-9 "x0" 3.0 x.(0);
+  check_float 1e-9 "x1" 2.0 x.(1)
+
+let test_linear_singular () =
+  let a = [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  let b = [| 1.; 2. |] in
+  Alcotest.check_raises "singular" Linear.Singular (fun () ->
+      ignore (Linear.solve_copy a b))
+
+let test_linear_residual () =
+  let a = [| [| 4.; 1.; 0. |]; [| 1.; 5.; 2. |]; [| 0.; 2.; 6. |] |] in
+  let b = [| 1.; -2.; 3. |] in
+  let x = Linear.solve_copy a b in
+  Alcotest.(check bool) "residual small" true (Linear.residual a x b < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Waveform                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_waveform_dc () =
+  let w = Waveform.dc 3.3 in
+  check_float 1e-12 "t=0" 3.3 (Waveform.value w 0.0);
+  check_float 1e-12 "t=1" 3.3 (Waveform.value w 1.0)
+
+let test_waveform_pwl () =
+  let w = Waveform.pwl [ 0.0, 0.0; 1.0, 2.0; 3.0, 0.0 ] in
+  check_float 1e-12 "before" 0.0 (Waveform.value w (-1.0));
+  check_float 1e-12 "midpoint" 1.0 (Waveform.value w 0.5);
+  check_float 1e-12 "breakpoint" 2.0 (Waveform.value w 1.0);
+  check_float 1e-12 "falling" 1.0 (Waveform.value w 2.0);
+  check_float 1e-12 "after" 0.0 (Waveform.value w 5.0)
+
+let test_waveform_pwl_rejects_unordered () =
+  Alcotest.check_raises "unordered"
+    (Invalid_argument "Waveform.pwl: times must increase") (fun () ->
+      ignore (Waveform.pwl [ 0.0, 0.0; 0.0, 1.0 ]))
+
+let test_waveform_pulse () =
+  let w =
+    Waveform.pulse ~v0:0.0 ~v1:5.0 ~delay:1e-9 ~rise:1e-9 ~fall:1e-9
+      ~width:3e-9 ~period:10e-9
+  in
+  check_float 1e-9 "before delay" 0.0 (Waveform.value w 0.0);
+  check_float 1e-9 "mid rise" 2.5 (Waveform.value w 1.5e-9);
+  check_float 1e-9 "high" 5.0 (Waveform.value w 3e-9);
+  check_float 1e-9 "low again" 0.0 (Waveform.value w 7e-9);
+  check_float 1e-9 "periodic" 5.0 (Waveform.value w 13e-9)
+
+let test_waveform_triangle () =
+  let w = Waveform.triangle ~lo:1.0 ~hi:3.0 ~period:2.0 in
+  check_float 1e-9 "start" 1.0 (Waveform.value w 0.0);
+  check_float 1e-9 "peak" 3.0 (Waveform.value w 1.0);
+  check_float 1e-9 "back" 1.0 (Waveform.value w 2.0);
+  check_float 1e-9 "quarter" 2.0 (Waveform.value w 0.5)
+
+let test_waveform_scale () =
+  let w = Waveform.scale 0.5 (Waveform.dc 4.0) in
+  check_float 1e-12 "scaled" 2.0 (Waveform.value w 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Mos_model                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let nmos = Mos_model.default_nmos
+
+let test_mos_cutoff () =
+  let op =
+    Mos_model.evaluate ~polarity:Mos_model.Nmos ~params:nmos ~w:10e-6 ~l:1e-6
+      ~vgs:0.5 ~vds:2.0
+  in
+  check_float 1e-15 "id" 0.0 op.Mos_model.id;
+  Alcotest.(check bool) "region" true
+    (Mos_model.region ~polarity:Mos_model.Nmos ~params:nmos ~vgs:0.5 ~vds:2.0
+     = Mos_model.Cutoff)
+
+let test_mos_saturation_value () =
+  (* id = kp/2 * W/L * (vgs-vth)^2 * (1 + lambda vds) *)
+  let vgs = 1.8 and vds = 3.0 in
+  let op =
+    Mos_model.evaluate ~polarity:Mos_model.Nmos ~params:nmos ~w:10e-6 ~l:1e-6
+      ~vgs ~vds
+  in
+  let vgst = vgs -. nmos.Mos_model.vth in
+  let expect =
+    0.5 *. nmos.Mos_model.kp *. 10. *. vgst *. vgst
+    *. (1. +. (nmos.Mos_model.lambda *. vds))
+  in
+  check_float 1e-9 "id" expect op.Mos_model.id;
+  Alcotest.(check bool) "saturation" true
+    (Mos_model.region ~polarity:Mos_model.Nmos ~params:nmos ~vgs ~vds
+     = Mos_model.Saturation)
+
+let test_mos_triode_value () =
+  let vgs = 3.0 and vds = 0.5 in
+  let op =
+    Mos_model.evaluate ~polarity:Mos_model.Nmos ~params:nmos ~w:10e-6 ~l:1e-6
+      ~vgs ~vds
+  in
+  let vgst = vgs -. nmos.Mos_model.vth in
+  let expect =
+    nmos.Mos_model.kp *. 10.
+    *. ((vgst *. vds) -. (0.5 *. vds *. vds))
+    *. (1. +. (nmos.Mos_model.lambda *. vds))
+  in
+  check_float 1e-9 "id" expect op.Mos_model.id
+
+let test_mos_symmetry () =
+  (* Swapping drain and source negates the current. *)
+  let fwd =
+    Mos_model.evaluate ~polarity:Mos_model.Nmos ~params:nmos ~w:10e-6 ~l:1e-6
+      ~vgs:2.0 ~vds:1.0
+  in
+  let rev =
+    Mos_model.evaluate ~polarity:Mos_model.Nmos ~params:nmos ~w:10e-6 ~l:1e-6
+      ~vgs:1.0 ~vds:(-1.0)
+  in
+  check_float 1e-12 "antisymmetric" (-.fwd.Mos_model.id) rev.Mos_model.id
+
+let test_mos_pmos_mirror () =
+  let p = Mos_model.default_pmos in
+  let op =
+    Mos_model.evaluate ~polarity:Mos_model.Pmos ~params:p ~w:10e-6 ~l:1e-6
+      ~vgs:(-2.0) ~vds:(-3.0)
+  in
+  Alcotest.(check bool) "pmos conducts negative current" true
+    (op.Mos_model.id < 0.);
+  let mirrored =
+    Mos_model.evaluate ~polarity:Mos_model.Nmos ~params:p ~w:10e-6 ~l:1e-6
+      ~vgs:2.0 ~vds:3.0
+  in
+  check_float 1e-12 "mirror" (-.mirrored.Mos_model.id) op.Mos_model.id
+
+(* ------------------------------------------------------------------ *)
+(* Engine: DC                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_dc_voltage_divider () =
+  let nl = Netlist.create () in
+  let vin = Netlist.node nl "in" in
+  let mid = Netlist.node nl "mid" in
+  Netlist.add_vsource nl ~name:"V1" ~pos:vin ~neg:Netlist.ground (Waveform.dc 10.0);
+  Netlist.add_resistor nl ~name:"R1" vin mid 1_000.0;
+  Netlist.add_resistor nl ~name:"R2" mid Netlist.ground 3_000.0;
+  let sol = Engine.dc_operating_point nl in
+  check_float 1e-6 "divider" 7.5 (Engine.voltage sol mid);
+  (* Source delivers V/(R1+R2) into the circuit. *)
+  check_float 1e-9 "supply current" (10.0 /. 4000.0) (Engine.source_current sol "V1")
+
+let test_dc_current_source () =
+  let nl = Netlist.create () in
+  let out = Netlist.node nl "out" in
+  Netlist.add_isource nl ~name:"I1" ~pos:out ~neg:Netlist.ground (Waveform.dc 1e-3);
+  Netlist.add_resistor nl ~name:"R1" out Netlist.ground 2_000.0;
+  let sol = Engine.dc_operating_point nl in
+  check_float 1e-6 "v = i*r" 2.0 (Engine.voltage sol out)
+
+let test_dc_floating_node_gmin () =
+  (* A node connected only through a capacitor is floating in DC; the gmin
+     shunt must keep the system solvable and park it near ground. *)
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" in
+  let b = Netlist.node nl "b" in
+  Netlist.add_vsource nl ~name:"V1" ~pos:a ~neg:Netlist.ground (Waveform.dc 5.0);
+  Netlist.add_capacitor nl ~name:"C1" a b 1e-12;
+  let sol = Engine.dc_operating_point nl in
+  check_float 1e-3 "floating node at 0" 0.0 (Engine.voltage sol b)
+
+let nmos_spec =
+  {
+    Netlist.polarity = Mos_model.Nmos;
+    params = Mos_model.default_nmos;
+    w = 10e-6;
+    l = 1e-6;
+  }
+
+let pmos_spec =
+  {
+    Netlist.polarity = Mos_model.Pmos;
+    params = Mos_model.default_pmos;
+    w = 30e-6;
+    l = 1e-6;
+  }
+
+let build_inverter () =
+  let nl = Netlist.create () in
+  let vdd = Netlist.node nl "vdd" in
+  let vin = Netlist.node nl "in" in
+  let out = Netlist.node nl "out" in
+  Netlist.add_vsource nl ~name:"VDD" ~pos:vdd ~neg:Netlist.ground (Waveform.dc 5.0);
+  Netlist.add_vsource nl ~name:"VIN" ~pos:vin ~neg:Netlist.ground (Waveform.dc 0.0);
+  Netlist.add_mosfet nl ~name:"MN" ~drain:out ~gate:vin ~source:Netlist.ground
+    ~bulk:Netlist.ground nmos_spec;
+  Netlist.add_mosfet nl ~name:"MP" ~drain:out ~gate:vin ~source:vdd ~bulk:vdd
+    pmos_spec;
+  nl, vin, out
+
+let test_dc_nmos_diode () =
+  (* Diode-connected NMOS fed through a resistor: check KCL consistency
+     between the resistor current and the square-law current. *)
+  let nl = Netlist.create () in
+  let vdd = Netlist.node nl "vdd" in
+  let d = Netlist.node nl "d" in
+  Netlist.add_vsource nl ~name:"VDD" ~pos:vdd ~neg:Netlist.ground (Waveform.dc 5.0);
+  Netlist.add_resistor nl ~name:"R1" vdd d 10_000.0;
+  Netlist.add_mosfet nl ~name:"M1" ~drain:d ~gate:d ~source:Netlist.ground
+    ~bulk:Netlist.ground nmos_spec;
+  let sol = Engine.dc_operating_point nl in
+  let v = Engine.voltage sol d in
+  Alcotest.(check bool) "above threshold" true (v > 0.8 && v < 5.0);
+  let i_res = (5.0 -. v) /. 10_000.0 in
+  let op =
+    Mos_model.evaluate ~polarity:Mos_model.Nmos ~params:nmos ~w:10e-6 ~l:1e-6
+      ~vgs:v ~vds:v
+  in
+  check_float 1e-7 "KCL" i_res op.Mos_model.id
+
+let test_dc_inverter_rails () =
+  let nl, _vin, out = build_inverter () in
+  let sol = Engine.dc_operating_point nl in
+  Alcotest.(check bool) "in=0 -> out near vdd" true (Engine.voltage sol out > 4.9)
+
+let test_dc_sweep_inverter_monotone () =
+  let nl, _vin, out = build_inverter () in
+  let values = List.init 26 (fun i -> float_of_int i *. 0.2) in
+  let sols = Engine.dc_sweep nl ~source:"VIN" ~values in
+  let outs = List.map (fun s -> Engine.voltage s out) sols in
+  (match outs with
+  | first :: _ -> Alcotest.(check bool) "starts high" true (first > 4.9)
+  | [] -> Alcotest.fail "no sweep points");
+  let last = List.nth outs (List.length outs - 1) in
+  Alcotest.(check bool) "ends low" true (last < 0.1);
+  let monotone =
+    List.for_all2
+      (fun a b -> b <= a +. 1e-6)
+      (List.filteri (fun i _ -> i < List.length outs - 1) outs)
+      (List.tl outs)
+  in
+  Alcotest.(check bool) "monotone decreasing" true monotone
+
+let test_dc_kcl_at_internal_node () =
+  (* Three resistors meeting at a node: currents must balance. *)
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" in
+  let b = Netlist.node nl "b" in
+  let n = Netlist.node nl "n" in
+  Netlist.add_vsource nl ~name:"VA" ~pos:a ~neg:Netlist.ground (Waveform.dc 3.0);
+  Netlist.add_vsource nl ~name:"VB" ~pos:b ~neg:Netlist.ground (Waveform.dc 1.0);
+  Netlist.add_resistor nl ~name:"R1" a n 100.0;
+  Netlist.add_resistor nl ~name:"R2" b n 200.0;
+  Netlist.add_resistor nl ~name:"R3" n Netlist.ground 300.0;
+  let sol = Engine.dc_operating_point nl in
+  let vn = Engine.voltage sol n in
+  let sum = ((3.0 -. vn) /. 100.0) +. ((1.0 -. vn) /. 200.0) -. (vn /. 300.0) in
+  check_float 1e-9 "KCL" 0.0 sum
+
+(* ------------------------------------------------------------------ *)
+(* Engine: transient                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_transient_rc_charge () =
+  let r = 1_000.0 and c = 1e-9 in
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" in
+  let out = Netlist.node nl "out" in
+  (* Step from 0 to 5 V shortly after t=0 so the DC point starts at 0. *)
+  Netlist.add_vsource nl ~name:"V1" ~pos:src ~neg:Netlist.ground
+    (Waveform.pwl [ 0.0, 0.0; 1e-9, 5.0 ]);
+  Netlist.add_resistor nl ~name:"R1" src out r;
+  Netlist.add_capacitor nl ~name:"C1" out Netlist.ground c;
+  let tau = r *. c in
+  let sols = Engine.transient nl ~stop:(5. *. tau) ~step:(tau /. 200.) in
+  let final = List.nth sols (List.length sols - 1) in
+  check_float 0.05 "fully charged" 5.0 (Engine.voltage final out);
+  (* At one time constant after the step the output is ~63 % of 5 V.
+     Backward Euler with 200 steps/tau is within a percent. *)
+  let at_tau =
+    List.find
+      (fun s -> Float.abs (Engine.time s -. (tau +. 1e-9)) < tau /. 300.)
+      sols
+  in
+  check_float 0.05 "one tau" (5.0 *. (1. -. exp (-1.))) (Engine.voltage at_tau out)
+
+let test_transient_capacitor_holds_charge () =
+  (* A capacitor fed through a huge resistor barely moves within a time
+     much shorter than tau = 1 s (the source steps after t = 0 so the DC
+     point starts discharged). *)
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" in
+  let out = Netlist.node nl "out" in
+  Netlist.add_vsource nl ~name:"V1" ~pos:src ~neg:Netlist.ground
+    (Waveform.pwl [ 0.0, 0.0; 1e-9, 5.0 ]);
+  Netlist.add_resistor nl ~name:"R1" src out 1e9;
+  Netlist.add_capacitor nl ~name:"C1" out Netlist.ground 1e-9;
+  let sols = Engine.transient nl ~stop:1e-6 ~step:1e-8 in
+  let final = List.nth sols (List.length sols - 1) in
+  Alcotest.(check bool) "barely charged" true (Engine.voltage final out < 0.05)
+
+let test_transient_inverter_switches () =
+  let nl = Netlist.create () in
+  let vdd = Netlist.node nl "vdd" in
+  let vin = Netlist.node nl "in" in
+  let out = Netlist.node nl "out" in
+  Netlist.add_vsource nl ~name:"VDD" ~pos:vdd ~neg:Netlist.ground (Waveform.dc 5.0);
+  Netlist.add_vsource nl ~name:"VIN" ~pos:vin ~neg:Netlist.ground
+    (Waveform.pulse ~v0:0.0 ~v1:5.0 ~delay:10e-9 ~rise:1e-9 ~fall:1e-9
+       ~width:30e-9 ~period:100e-9);
+  Netlist.add_mosfet nl ~name:"MN" ~drain:out ~gate:vin ~source:Netlist.ground
+    ~bulk:Netlist.ground nmos_spec;
+  Netlist.add_mosfet nl ~name:"MP" ~drain:out ~gate:vin ~source:vdd ~bulk:vdd
+    pmos_spec;
+  Netlist.add_capacitor nl ~name:"CL" out Netlist.ground 50e-15;
+  let sols = Engine.transient nl ~stop:50e-9 ~step:0.5e-9 in
+  let v_at t =
+    let s = List.find (fun s -> Float.abs (Engine.time s -. t) < 0.2e-9) sols in
+    Engine.voltage s out
+  in
+  Alcotest.(check bool) "high before pulse" true (v_at 5e-9 > 4.9);
+  Alcotest.(check bool) "low during pulse" true (v_at 30e-9 < 0.1)
+
+let test_transient_supply_current_inverter () =
+  (* A static CMOS inverter draws (almost) no supply current at either
+     rail — the IDDQ mechanism the paper exploits. *)
+  let nl, _, _ = build_inverter () in
+  let sol = Engine.dc_operating_point nl in
+  Alcotest.(check bool) "IDDQ tiny" true
+    (Float.abs (Engine.source_current sol "VDD") < 1e-6)
+
+let test_transient_rejects_bad_grid () =
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" in
+  Netlist.add_resistor nl ~name:"R1" a Netlist.ground 1.0;
+  Alcotest.check_raises "bad grid"
+    (Invalid_argument "Engine.transient: bad time grid") (fun () ->
+      ignore (Engine.transient nl ~stop:1.0 ~step:0.0))
+
+(* ------------------------------------------------------------------ *)
+(* Engine: AC                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rc_lowpass () =
+  (* fc = 1/(2 pi RC) = 1.59 kHz for 10k / 10n. *)
+  let nl = Netlist.create () in
+  let vin = Netlist.node nl "in" in
+  let out = Netlist.node nl "out" in
+  Netlist.add_vsource nl ~name:"V1" ~pos:vin ~neg:Netlist.ground (Waveform.dc 0.0);
+  Netlist.add_resistor nl ~name:"R1" vin out 10_000.0;
+  Netlist.add_capacitor nl ~name:"C1" out Netlist.ground 10e-9;
+  nl, out
+
+let test_ac_lowpass_corner () =
+  let nl, out = rc_lowpass () in
+  let fc = 1.0 /. (2.0 *. Float.pi *. 10_000.0 *. 10e-9) in
+  match Engine.ac_sweep nl ~source:"V1" ~frequencies:[ fc /. 100.0; fc; fc *. 100.0 ] with
+  | [ (_, low); (_, corner); (_, high) ] ->
+    check_float 0.05 "passband 0 dB" 0.0 (Engine.ac_magnitude_db low out);
+    check_float 0.05 "-3 dB at corner" (-3.0103) (Engine.ac_magnitude_db corner out);
+    check_float 1.0 "-40 dB two decades up" (-40.0) (Engine.ac_magnitude_db high out);
+    check_float 0.5 "-45 degrees at corner" (-45.0) (Engine.ac_phase_deg corner out)
+  | _ -> Alcotest.fail "unexpected sweep shape"
+
+let test_ac_common_source_gain () =
+  (* Common-source amplifier with a resistive load: |A| = gm * (RL || ro)
+     at low frequency. *)
+  let nl = Netlist.create () in
+  let vdd = Netlist.node nl "vdd" in
+  let vin = Netlist.node nl "in" in
+  let out = Netlist.node nl "out" in
+  Netlist.add_vsource nl ~name:"VDD" ~pos:vdd ~neg:Netlist.ground (Waveform.dc 5.0);
+  Netlist.add_vsource nl ~name:"VIN" ~pos:vin ~neg:Netlist.ground (Waveform.dc 1.2);
+  Netlist.add_resistor nl ~name:"RL" vdd out 10_000.0;
+  Netlist.add_mosfet nl ~name:"M1" ~drain:out ~gate:vin ~source:Netlist.ground
+    ~bulk:Netlist.ground nmos_spec;
+  let op = Engine.dc_operating_point nl in
+  let vds = Engine.voltage op out in
+  let small =
+    Mos_model.evaluate ~polarity:Mos_model.Nmos ~params:nmos ~w:10e-6 ~l:1e-6
+      ~vgs:1.2 ~vds
+  in
+  let expected_gain =
+    small.Mos_model.gm /. ((1.0 /. 10_000.0) +. small.Mos_model.gds)
+  in
+  (match Engine.ac_sweep nl ~source:"VIN" ~frequencies:[ 100.0 ] with
+  | [ (_, sol) ] ->
+    check_float 0.1 "gain magnitude" expected_gain
+      (Complex.norm (Engine.ac_voltage sol out));
+    (* Inverting stage: phase ~180 degrees. *)
+    check_float 1.0 "inverting" 180.0 (Float.abs (Engine.ac_phase_deg sol out))
+  | _ -> Alcotest.fail "unexpected sweep shape")
+
+let test_ac_rejects_bad_source () =
+  let nl, _ = rc_lowpass () in
+  Alcotest.check_raises "unknown source"
+    (Invalid_argument "Engine.ac_sweep: \"nope\" is not a voltage source")
+    (fun () -> ignore (Engine.ac_sweep nl ~source:"nope" ~frequencies:[ 1.0 ]))
+
+let test_ac_decades_grid () =
+  let grid = Engine.decades ~lo:1.0 ~hi:1000.0 ~per_decade:1 in
+  Alcotest.(check int) "4 points" 4 (List.length grid);
+  check_float 1e-6 "first" 1.0 (List.nth grid 0);
+  check_float 1e-3 "last" 1000.0 (List.nth grid 3)
+
+(* ------------------------------------------------------------------ *)
+(* Netlist mutation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_netlist_copy_is_deep () =
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" in
+  let b = Netlist.node nl "b" in
+  Netlist.add_resistor nl ~name:"R1" a b 100.0;
+  let clone = Netlist.copy nl in
+  Netlist.reconnect clone { Netlist.device = "R1"; role = "-" } Netlist.ground;
+  let original_pin = Netlist.pin_node nl { Netlist.device = "R1"; role = "-" } in
+  Alcotest.(check bool) "original untouched" true (Netlist.node_equal original_pin b)
+
+let test_netlist_duplicate_device () =
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" in
+  Netlist.add_resistor nl ~name:"R1" a Netlist.ground 1.0;
+  Alcotest.check_raises "duplicate" (Invalid_argument "Netlist: duplicate device \"R1\"")
+    (fun () -> Netlist.add_resistor nl ~name:"R1" a Netlist.ground 2.0)
+
+let test_netlist_pins_of_node () =
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" in
+  Netlist.add_resistor nl ~name:"R1" a Netlist.ground 1.0;
+  Netlist.add_capacitor nl ~name:"C1" a Netlist.ground 1e-12;
+  let pins = Netlist.pins_of_node nl a in
+  Alcotest.(check int) "two pins" 2 (List.length pins)
+
+let test_netlist_split_via_reconnect () =
+  (* Simulating an open: move one resistor end to a fresh node and check
+     the divider output collapses. *)
+  let nl = Netlist.create () in
+  let vin = Netlist.node nl "in" in
+  let mid = Netlist.node nl "mid" in
+  Netlist.add_vsource nl ~name:"V1" ~pos:vin ~neg:Netlist.ground (Waveform.dc 10.0);
+  Netlist.add_resistor nl ~name:"R1" vin mid 1_000.0;
+  Netlist.add_resistor nl ~name:"R2" mid Netlist.ground 3_000.0;
+  let broken = Netlist.copy nl in
+  let floating = Netlist.fresh_node broken "open" in
+  Netlist.reconnect broken { Netlist.device = "R1"; role = "-" } floating;
+  let sol = Engine.dc_operating_point broken in
+  check_float 1e-3 "output collapses" 0.0 (Engine.voltage sol mid)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"dc: series resistor chain divides proportionally"
+      (pair (int_range 2 8) (float_range 1.0 10.0))
+      (fun (n, v) ->
+        let nl = Netlist.create () in
+        let top = Netlist.node nl "top" in
+        Netlist.add_vsource nl ~name:"V" ~pos:top ~neg:Netlist.ground (Waveform.dc v);
+        let rec chain i prev =
+          if i = n then
+            Netlist.add_resistor nl ~name:(Printf.sprintf "R%d" i) prev
+              Netlist.ground 1000.0
+          else begin
+            let next = Netlist.node nl (Printf.sprintf "n%d" i) in
+            Netlist.add_resistor nl ~name:(Printf.sprintf "R%d" i) prev next 1000.0;
+            chain (i + 1) next
+          end
+        in
+        chain 1 top;
+        let sol = Engine.dc_operating_point nl in
+        (* Node k of an equal chain sits at v * (n - k) / n. *)
+        let ok = ref true in
+        for k = 1 to n - 1 do
+          let node = Netlist.node nl (Printf.sprintf "n%d" k) in
+          let expect = v *. float_of_int (n - k) /. float_of_int n in
+          if Float.abs (Engine.voltage sol node -. expect) > 1e-6 *. v then
+            ok := false
+        done;
+        !ok);
+    Test.make ~name:"mos: id is antisymmetric under terminal swap"
+      (pair (float_range 0.0 5.0) (float_range (-5.0) 5.0))
+      (fun (vgs, vds) ->
+        let fwd =
+          Mos_model.evaluate ~polarity:Mos_model.Nmos ~params:nmos ~w:5e-6
+            ~l:1e-6 ~vgs ~vds
+        in
+        let rev =
+          Mos_model.evaluate ~polarity:Mos_model.Nmos ~params:nmos ~w:5e-6
+            ~l:1e-6 ~vgs:(vgs -. vds) ~vds:(-.vds)
+        in
+        Float.abs (fwd.Mos_model.id +. rev.Mos_model.id) < 1e-12);
+    Test.make ~name:"mos: current increases with vgs in saturation"
+      (pair (float_range 1.0 2.0) (float_range 2.5 5.0))
+      (fun (vgs, vds) ->
+        let at v =
+          (Mos_model.evaluate ~polarity:Mos_model.Nmos ~params:nmos ~w:5e-6
+             ~l:1e-6 ~vgs:v ~vds)
+            .Mos_model.id
+        in
+        at (vgs +. 0.1) >= at vgs);
+    Test.make ~name:"waveform: pwl stays within value envelope"
+      (pair (list_of_size (Gen.int_range 1 8) (float_range (-5.) 5.)) (float_range (-1.) 10.))
+      (fun (values, t) ->
+        let points = List.mapi (fun i v -> float_of_int i, v) values in
+        let w = Waveform.pwl points in
+        let lo = List.fold_left Float.min infinity values in
+        let hi = List.fold_left Float.max neg_infinity values in
+        let v = Waveform.value w t in
+        v >= lo -. 1e-9 && v <= hi +. 1e-9);
+  ]
+
+let suites =
+  [
+    ( "circuit.linear",
+      [
+        Alcotest.test_case "known 2x2" `Quick test_linear_known_2x2;
+        Alcotest.test_case "pivoting" `Quick test_linear_needs_pivoting;
+        Alcotest.test_case "singular" `Quick test_linear_singular;
+        Alcotest.test_case "residual" `Quick test_linear_residual;
+      ] );
+    ( "circuit.waveform",
+      [
+        Alcotest.test_case "dc" `Quick test_waveform_dc;
+        Alcotest.test_case "pwl" `Quick test_waveform_pwl;
+        Alcotest.test_case "pwl unordered" `Quick test_waveform_pwl_rejects_unordered;
+        Alcotest.test_case "pulse" `Quick test_waveform_pulse;
+        Alcotest.test_case "triangle" `Quick test_waveform_triangle;
+        Alcotest.test_case "scale" `Quick test_waveform_scale;
+      ] );
+    ( "circuit.mos_model",
+      [
+        Alcotest.test_case "cutoff" `Quick test_mos_cutoff;
+        Alcotest.test_case "saturation" `Quick test_mos_saturation_value;
+        Alcotest.test_case "triode" `Quick test_mos_triode_value;
+        Alcotest.test_case "symmetry" `Quick test_mos_symmetry;
+        Alcotest.test_case "pmos mirror" `Quick test_mos_pmos_mirror;
+      ] );
+    ( "circuit.engine.dc",
+      [
+        Alcotest.test_case "voltage divider" `Quick test_dc_voltage_divider;
+        Alcotest.test_case "current source" `Quick test_dc_current_source;
+        Alcotest.test_case "floating node" `Quick test_dc_floating_node_gmin;
+        Alcotest.test_case "nmos diode KCL" `Quick test_dc_nmos_diode;
+        Alcotest.test_case "inverter rails" `Quick test_dc_inverter_rails;
+        Alcotest.test_case "inverter sweep monotone" `Quick test_dc_sweep_inverter_monotone;
+        Alcotest.test_case "KCL at internal node" `Quick test_dc_kcl_at_internal_node;
+      ] );
+    ( "circuit.engine.transient",
+      [
+        Alcotest.test_case "rc charge" `Quick test_transient_rc_charge;
+        Alcotest.test_case "cap holds charge" `Quick test_transient_capacitor_holds_charge;
+        Alcotest.test_case "inverter switches" `Quick test_transient_inverter_switches;
+        Alcotest.test_case "inverter IDDQ tiny" `Quick test_transient_supply_current_inverter;
+        Alcotest.test_case "rejects bad grid" `Quick test_transient_rejects_bad_grid;
+      ] );
+    ( "circuit.engine.ac",
+      [
+        Alcotest.test_case "rc lowpass corner" `Quick test_ac_lowpass_corner;
+        Alcotest.test_case "common-source gain" `Quick test_ac_common_source_gain;
+        Alcotest.test_case "rejects bad source" `Quick test_ac_rejects_bad_source;
+        Alcotest.test_case "decades grid" `Quick test_ac_decades_grid;
+      ] );
+    ( "circuit.netlist",
+      [
+        Alcotest.test_case "deep copy" `Quick test_netlist_copy_is_deep;
+        Alcotest.test_case "duplicate device" `Quick test_netlist_duplicate_device;
+        Alcotest.test_case "pins of node" `Quick test_netlist_pins_of_node;
+        Alcotest.test_case "open via reconnect" `Quick test_netlist_split_via_reconnect;
+      ] );
+    "circuit.properties", List.map QCheck_alcotest.to_alcotest qcheck_props;
+  ]

@@ -1,0 +1,174 @@
+(* Integration tests for the dotest.core pipeline and global scaling.
+
+   These exercise the whole methodology end to end on reduced defect
+   counts, so they are registered as `Slow (run with `dune runtest`, can
+   be filtered with ALCOTEST_QUICK_TESTS). *)
+
+let small_config =
+  {
+    Core.Pipeline.default_config with
+    defects = 4_000;
+    good_space_dies = 12;
+  }
+
+let comparator_analysis =
+  lazy
+    (Core.Pipeline.analyze small_config
+       (Adc.Comparator.macro Adc.Comparator.default_options))
+
+let test_pipeline_produces_outcomes () =
+  let a = Lazy.force comparator_analysis in
+  Alcotest.(check bool) "found faults" true (a.Core.Pipeline.effective > 0);
+  Alcotest.(check int) "outcome per class"
+    (List.length a.Core.Pipeline.classes_catastrophic)
+    (List.length a.Core.Pipeline.outcomes_catastrophic);
+  Alcotest.(check bool) "non-catastrophic derived" true
+    (a.Core.Pipeline.classes_non_catastrophic <> [])
+
+let test_pipeline_deterministic () =
+  let a = Lazy.force comparator_analysis in
+  let b =
+    Core.Pipeline.analyze small_config
+      (Adc.Comparator.macro Adc.Comparator.default_options)
+  in
+  Alcotest.(check int) "same effective" a.Core.Pipeline.effective
+    b.Core.Pipeline.effective;
+  Alcotest.(check int) "same fault count"
+    (Core.Pipeline.fault_count a Fault.Types.Catastrophic)
+    (Core.Pipeline.fault_count b Fault.Types.Catastrophic);
+  let coverage x =
+    Testgen.Overlap.coverage
+      (Testgen.Overlap.venn_of_partition
+         (Testgen.Overlap.partition x.Core.Pipeline.outcomes_catastrophic))
+  in
+  Alcotest.(check (float 1e-12)) "same coverage" (coverage a) (coverage b)
+
+let test_pipeline_seed_changes_results () =
+  let a = Lazy.force comparator_analysis in
+  let b =
+    Core.Pipeline.analyze { small_config with Core.Pipeline.seed = 77 }
+      (Adc.Comparator.macro Adc.Comparator.default_options)
+  in
+  (* Different defect placement: almost surely different instance count. *)
+  Alcotest.(check bool) "different sample" true
+    (Core.Pipeline.fault_count a Fault.Types.Catastrophic
+     <> Core.Pipeline.fault_count b Fault.Types.Catastrophic
+    || a.Core.Pipeline.effective <> b.Core.Pipeline.effective)
+
+let test_pipeline_comparator_shape () =
+  (* The load-bearing qualitative claims of the paper, on the comparator:
+     shorts dominate, stuck-at is the leading voltage signature, a
+     nontrivial share of faults is only current-detectable. *)
+  let a = Lazy.force comparator_analysis in
+  (match Fault.Collapse.by_type a.Core.Pipeline.classes_catastrophic with
+  | (ft, share, _) :: _ ->
+    Alcotest.(check string) "shorts dominate" "short"
+      (Fault.Types.fault_type_name ft);
+    Alcotest.(check bool) "heavily" true (share > 0.7)
+  | [] -> Alcotest.fail "no faults");
+  let voltage = Macro.Evaluate.voltage_table a.Core.Pipeline.outcomes_catastrophic in
+  let stuck = List.assoc Macro.Signature.Output_stuck_at voltage in
+  List.iter
+    (fun (v, share) ->
+      if v <> Macro.Signature.Output_stuck_at then
+        Alcotest.(check bool) "stuck leads" true (stuck >= share))
+    voltage;
+  let venn =
+    Testgen.Overlap.venn_of_partition
+      (Testgen.Overlap.partition a.Core.Pipeline.outcomes_catastrophic)
+  in
+  Alcotest.(check bool) "current-only matters" true
+    (venn.Testgen.Overlap.current_only > 0.1);
+  Alcotest.(check bool) "coverage high but imperfect" true
+    (let c = Testgen.Overlap.coverage venn in
+     c > 0.75 && c < 1.0)
+
+let global_pair =
+  lazy
+    (Dft.Measures.compare_coverage ~config:small_config ())
+
+let test_global_weights_normalized () =
+  let original, _ = Lazy.force global_pair in
+  let total =
+    List.fold_left
+      (fun acc (a : Core.Pipeline.macro_analysis) ->
+        acc +. Core.Global.weight original a.macro.Macro.Macro_cell.name)
+      0.0
+      (Core.Global.analyses original)
+  in
+  Alcotest.(check (float 1e-9)) "weights sum to 1" 1.0 total
+
+let test_global_partition_normalized () =
+  let original, _ = Lazy.force global_pair in
+  List.iter
+    (fun severity ->
+      let cells = Core.Global.partition original severity in
+      let total =
+        List.fold_left
+          (fun acc (c : Testgen.Overlap.cell) -> acc +. c.share)
+          0.0 cells
+      in
+      Alcotest.(check (float 1e-9)) "partition sums to 1" 1.0 total)
+    [ Fault.Types.Catastrophic; Fault.Types.Non_catastrophic ]
+
+let test_global_coverage_sane () =
+  let original, _ = Lazy.force global_pair in
+  let c = Core.Global.coverage original Fault.Types.Catastrophic in
+  Alcotest.(check bool) "between 80% and 100%" true (c > 0.8 && c < 1.0)
+
+let test_dft_improves_coverage () =
+  let original, improved = Lazy.force global_pair in
+  let before = Core.Global.coverage original Fault.Types.Catastrophic in
+  let after = Core.Global.coverage improved Fault.Types.Catastrophic in
+  Alcotest.(check bool)
+    (Printf.sprintf "DfT helps (%.3f -> %.3f)" before after)
+    true
+    (after > before)
+
+let test_reports_render () =
+  let a = Lazy.force comparator_analysis in
+  let original, _ = Lazy.force global_pair in
+  List.iter
+    (fun table ->
+      Alcotest.(check bool) "non-empty" true
+        (String.length (Util.Table.render table) > 50))
+    [
+      Core.Report.table1 a;
+      Core.Report.table2 a;
+      Core.Report.table3 a;
+      Core.Report.figure3 a;
+      Core.Report.figure4 original;
+      Core.Report.macro_current original;
+      Core.Report.summary original;
+    ]
+
+let test_dft_guidelines_exist () =
+  Alcotest.(check bool) "guidelines" true (List.length Dft.Measures.guidelines >= 2);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "described" true
+        (String.length (Dft.Measures.describe m) > 20))
+    Dft.Measures.all_measures
+
+let suites =
+  [
+    ( "core.pipeline",
+      [
+        Alcotest.test_case "produces outcomes" `Slow test_pipeline_produces_outcomes;
+        Alcotest.test_case "deterministic" `Slow test_pipeline_deterministic;
+        Alcotest.test_case "seed sensitivity" `Slow test_pipeline_seed_changes_results;
+        Alcotest.test_case "paper shape holds" `Slow test_pipeline_comparator_shape;
+      ] );
+    ( "core.global",
+      [
+        Alcotest.test_case "weights normalized" `Slow test_global_weights_normalized;
+        Alcotest.test_case "partition normalized" `Slow test_global_partition_normalized;
+        Alcotest.test_case "coverage sane" `Slow test_global_coverage_sane;
+        Alcotest.test_case "DfT improves coverage" `Slow test_dft_improves_coverage;
+      ] );
+    ( "core.report",
+      [
+        Alcotest.test_case "reports render" `Slow test_reports_render;
+        Alcotest.test_case "guidelines" `Quick test_dft_guidelines_exist;
+      ] );
+  ]

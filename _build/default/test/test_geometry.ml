@@ -1,0 +1,242 @@
+(* Unit and property tests for the dotest.geometry library. *)
+
+open Geometry
+
+let rect ~x0 ~y0 ~x1 ~y1 = Rect.create ~x0 ~y0 ~x1 ~y1
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Rect                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rect_normalization () =
+  let r = rect ~x0:10 ~y0:20 ~x1:0 ~y1:5 in
+  Alcotest.(check int) "width" 10 (Rect.width r);
+  Alcotest.(check int) "height" 15 (Rect.height r);
+  Alcotest.(check int) "area" 150 (Rect.area r)
+
+let test_rect_zero_area_rejected () =
+  Alcotest.check_raises "degenerate" (Invalid_argument "Rect.create: zero area")
+    (fun () -> ignore (rect ~x0:0 ~y0:0 ~x1:0 ~y1:10))
+
+let test_rect_of_size () =
+  let r = Rect.of_size ~x:5 ~y:6 ~w:10 ~h:20 in
+  Alcotest.(check bool) "equal" true
+    (Rect.equal r (rect ~x0:5 ~y0:6 ~x1:15 ~y1:26))
+
+let test_rect_contains () =
+  let r = rect ~x0:0 ~y0:0 ~x1:10 ~y1:10 in
+  Alcotest.(check bool) "inside" true (Rect.contains r (5, 5));
+  Alcotest.(check bool) "edge" true (Rect.contains r (10, 0));
+  Alcotest.(check bool) "outside" false (Rect.contains r (11, 5))
+
+let test_rect_overlap_semantics () =
+  let a = rect ~x0:0 ~y0:0 ~x1:10 ~y1:10 in
+  let touching = rect ~x0:10 ~y0:0 ~x1:20 ~y1:10 in
+  let overlapping = rect ~x0:9 ~y0:9 ~x1:15 ~y1:15 in
+  let apart = rect ~x0:20 ~y0:20 ~x1:30 ~y1:30 in
+  Alcotest.(check bool) "touch is not overlap" false (Rect.overlaps a touching);
+  Alcotest.(check bool) "touch connects" true (Rect.touches_or_overlaps a touching);
+  Alcotest.(check bool) "overlap" true (Rect.overlaps a overlapping);
+  Alcotest.(check bool) "disjoint" false (Rect.touches_or_overlaps a apart)
+
+let test_rect_intersection () =
+  let a = rect ~x0:0 ~y0:0 ~x1:10 ~y1:10 in
+  let b = rect ~x0:5 ~y0:5 ~x1:15 ~y1:15 in
+  (match Rect.intersection a b with
+  | Some i -> Alcotest.(check bool) "intersection" true (Rect.equal i (rect ~x0:5 ~y0:5 ~x1:10 ~y1:10))
+  | None -> Alcotest.fail "expected intersection");
+  let c = rect ~x0:10 ~y0:0 ~x1:20 ~y1:10 in
+  Alcotest.(check bool) "edge contact has no interior" true
+    (Rect.intersection a c = None)
+
+let test_rect_inflate_translate () =
+  let r = rect ~x0:5 ~y0:5 ~x1:10 ~y1:10 in
+  let big = Rect.inflate r 2 in
+  Alcotest.(check bool) "inflated" true (Rect.equal big (rect ~x0:3 ~y0:3 ~x1:12 ~y1:12));
+  let moved = Rect.translate r ~dx:(-5) ~dy:10 in
+  Alcotest.(check bool) "translated" true (Rect.equal moved (rect ~x0:0 ~y0:15 ~x1:5 ~y1:20));
+  Alcotest.check_raises "over-deflate" (Invalid_argument "Rect.inflate: collapsed")
+    (fun () -> ignore (Rect.inflate r (-3)))
+
+let test_rect_bounding_box () =
+  let rects = [ rect ~x0:0 ~y0:0 ~x1:1 ~y1:1; rect ~x0:5 ~y0:(-2) ~x1:7 ~y1:3 ] in
+  Alcotest.(check bool) "bbox" true
+    (Rect.equal (Rect.bounding_box rects) (rect ~x0:0 ~y0:(-2) ~x1:7 ~y1:3))
+
+let test_rect_separation () =
+  let a = rect ~x0:0 ~y0:0 ~x1:10 ~y1:10 in
+  check_float "overlapping" 0.0 (Rect.separation a a);
+  let right = rect ~x0:13 ~y0:0 ~x1:20 ~y1:10 in
+  check_float "horizontal gap" 3.0 (Rect.separation a right);
+  let diag = rect ~x0:13 ~y0:14 ~x1:20 ~y1:20 in
+  check_float "diagonal gap" 5.0 (Rect.separation a diag);
+  check_float "symmetric" (Rect.separation a diag) (Rect.separation diag a)
+
+(* ------------------------------------------------------------------ *)
+(* Circle                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_circle_intersects_rect () =
+  let r = rect ~x0:0 ~y0:0 ~x1:10 ~y1:10 in
+  let inside = Circle.create ~cx:5 ~cy:5 ~radius:1.0 in
+  let grazing = Circle.create ~cx:13 ~cy:5 ~radius:3.0 in
+  let outside = Circle.create ~cx:20 ~cy:20 ~radius:2.0 in
+  Alcotest.(check bool) "inside" true (Circle.intersects_rect inside r);
+  Alcotest.(check bool) "grazing" true (Circle.intersects_rect grazing r);
+  Alcotest.(check bool) "outside" false (Circle.intersects_rect outside r)
+
+let test_circle_bridges () =
+  let a = rect ~x0:0 ~y0:0 ~x1:10 ~y1:100 in
+  let b = rect ~x0:20 ~y0:0 ~x1:30 ~y1:100 in
+  let big = Circle.create ~cx:15 ~cy:50 ~radius:6.0 in
+  let small = Circle.create ~cx:15 ~cy:50 ~radius:4.0 in
+  Alcotest.(check bool) "big spans the gap" true (Circle.bridges big a b);
+  Alcotest.(check bool) "small does not" false (Circle.bridges small a b)
+
+let test_circle_covers_span () =
+  (* A vertical wire 10 wide; a defect of radius 8 centred on it severs it,
+     radius 4 does not. *)
+  let wire = rect ~x0:0 ~y0:0 ~x1:10 ~y1:100 in
+  let sever = Circle.create ~cx:5 ~cy:50 ~radius:8.0 in
+  let nick = Circle.create ~cx:5 ~cy:50 ~radius:4.0 in
+  Alcotest.(check bool) "severs" true (Circle.covers_rect_span sever wire ~axis:`X);
+  Alcotest.(check bool) "nicks only" false (Circle.covers_rect_span nick wire ~axis:`X)
+
+let test_circle_bounds () =
+  let c = Circle.create ~cx:10 ~cy:10 ~radius:2.5 in
+  let b = Circle.bounds c in
+  Alcotest.(check bool) "bounds contain centre" true (Rect.contains b (10, 10));
+  Alcotest.(check bool) "bounds wide enough" true (Rect.width b >= 5)
+
+(* ------------------------------------------------------------------ *)
+(* Spatial_index                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_index_query_rect () =
+  let bounds = rect ~x0:0 ~y0:0 ~x1:1000 ~y1:1000 in
+  let idx = Spatial_index.create ~bounds ~cell_size:100 in
+  Spatial_index.insert idx (rect ~x0:10 ~y0:10 ~x1:20 ~y1:20) "a";
+  Spatial_index.insert idx (rect ~x0:500 ~y0:500 ~x1:600 ~y1:600) "b";
+  Alcotest.(check int) "length" 2 (Spatial_index.length idx);
+  let hits = ref [] in
+  Spatial_index.query_rect idx (rect ~x0:0 ~y0:0 ~x1:50 ~y1:50) (fun _ p ->
+      hits := p :: !hits);
+  Alcotest.(check (list string)) "only a" [ "a" ] !hits
+
+let test_index_no_duplicates () =
+  (* A rectangle spanning many buckets must still be reported once. *)
+  let bounds = rect ~x0:0 ~y0:0 ~x1:1000 ~y1:1000 in
+  let idx = Spatial_index.create ~bounds ~cell_size:10 in
+  Spatial_index.insert idx (rect ~x0:0 ~y0:0 ~x1:900 ~y1:900) "wide";
+  let count = ref 0 in
+  Spatial_index.query_rect idx (rect ~x0:0 ~y0:0 ~x1:1000 ~y1:1000) (fun _ _ ->
+      incr count);
+  Alcotest.(check int) "once" 1 !count
+
+let test_index_circle_query () =
+  let bounds = rect ~x0:0 ~y0:0 ~x1:100 ~y1:100 in
+  let idx = Spatial_index.create ~bounds ~cell_size:10 in
+  Spatial_index.insert idx (rect ~x0:0 ~y0:0 ~x1:10 ~y1:10) 1;
+  Spatial_index.insert idx (rect ~x0:50 ~y0:50 ~x1:60 ~y1:60) 2;
+  let hits = ref [] in
+  Spatial_index.query_circle idx (Circle.create ~cx:55 ~cy:55 ~radius:3.0)
+    (fun _ p -> hits := p :: !hits);
+  Alcotest.(check (list int)) "only payload 2" [ 2 ] !hits
+
+let test_index_outside_bounds_clamped () =
+  let bounds = rect ~x0:0 ~y0:0 ~x1:100 ~y1:100 in
+  let idx = Spatial_index.create ~bounds ~cell_size:10 in
+  Spatial_index.insert idx (rect ~x0:(-50) ~y0:(-50) ~x1:(-10) ~y1:(-10)) "out";
+  let hits = ref 0 in
+  Spatial_index.query_rect idx (rect ~x0:(-100) ~y0:(-100) ~x1:0 ~y1:0) (fun _ _ ->
+      incr hits);
+  Alcotest.(check int) "clamped entry still found" 1 !hits
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rect_gen =
+  QCheck.Gen.(
+    let* x0 = int_range (-500) 500 in
+    let* y0 = int_range (-500) 500 in
+    let* w = int_range 1 200 in
+    let* h = int_range 1 200 in
+    return (Rect.of_size ~x:x0 ~y:y0 ~w ~h))
+
+let arb_rect = QCheck.make ~print:(Format.asprintf "%a" Rect.pp) rect_gen
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"rect: intersection area <= both areas" (pair arb_rect arb_rect)
+      (fun (a, b) ->
+        match Rect.intersection a b with
+        | None -> true
+        | Some i -> Rect.area i <= Rect.area a && Rect.area i <= Rect.area b);
+    Test.make ~name:"rect: intersection implies overlap and vice versa"
+      (pair arb_rect arb_rect) (fun (a, b) ->
+        Rect.overlaps a b = Option.is_some (Rect.intersection a b));
+    Test.make ~name:"rect: overlap is symmetric" (pair arb_rect arb_rect)
+      (fun (a, b) -> Rect.overlaps a b = Rect.overlaps b a);
+    Test.make ~name:"rect: separation 0 iff touches-or-overlaps"
+      (pair arb_rect arb_rect) (fun (a, b) ->
+        Rect.touches_or_overlaps a b = (Rect.separation a b = 0.));
+    Test.make ~name:"rect: union bounds contains both" (pair arb_rect arb_rect)
+      (fun (a, b) ->
+        let u = Rect.union_bounds a b in
+        Option.is_some (Rect.intersection u a) && Option.is_some (Rect.intersection u b)
+        && Rect.area u >= max (Rect.area a) (Rect.area b));
+    Test.make ~name:"circle: bridging implies intersecting both"
+      (triple arb_rect arb_rect (pair (pair (int_range (-500) 500) (int_range (-500) 500)) (float_range 1. 100.)))
+      (fun (a, b, ((cx, cy), radius)) ->
+        let c = Circle.create ~cx ~cy ~radius in
+        Circle.bridges c a b = (Circle.intersects_rect c a && Circle.intersects_rect c b));
+    Test.make ~name:"index: query_rect finds exactly the overlapping rects"
+      (pair (list_of_size (Gen.int_range 0 30) arb_rect) arb_rect)
+      (fun (rects, probe) ->
+        let bounds = Rect.create ~x0:(-1000) ~y0:(-1000) ~x1:1000 ~y1:1000 in
+        let idx = Spatial_index.create ~bounds ~cell_size:50 in
+        List.iteri (fun i r -> Spatial_index.insert idx r i) rects;
+        let found = ref [] in
+        Spatial_index.query_rect idx probe (fun _ i -> found := i :: !found);
+        let expected =
+          List.filteri (fun _ _ -> true) rects
+          |> List.mapi (fun i r -> (i, r))
+          |> List.filter (fun (_, r) -> Rect.touches_or_overlaps probe r)
+          |> List.map fst
+        in
+        List.sort compare !found = List.sort compare expected);
+  ]
+
+let suites =
+  [
+    ( "geometry.rect",
+      [
+        Alcotest.test_case "normalization" `Quick test_rect_normalization;
+        Alcotest.test_case "zero area rejected" `Quick test_rect_zero_area_rejected;
+        Alcotest.test_case "of_size" `Quick test_rect_of_size;
+        Alcotest.test_case "contains" `Quick test_rect_contains;
+        Alcotest.test_case "overlap semantics" `Quick test_rect_overlap_semantics;
+        Alcotest.test_case "intersection" `Quick test_rect_intersection;
+        Alcotest.test_case "inflate/translate" `Quick test_rect_inflate_translate;
+        Alcotest.test_case "bounding box" `Quick test_rect_bounding_box;
+        Alcotest.test_case "separation" `Quick test_rect_separation;
+      ] );
+    ( "geometry.circle",
+      [
+        Alcotest.test_case "intersects rect" `Quick test_circle_intersects_rect;
+        Alcotest.test_case "bridges" `Quick test_circle_bridges;
+        Alcotest.test_case "covers span" `Quick test_circle_covers_span;
+        Alcotest.test_case "bounds" `Quick test_circle_bounds;
+      ] );
+    ( "geometry.spatial_index",
+      [
+        Alcotest.test_case "query rect" `Quick test_index_query_rect;
+        Alcotest.test_case "no duplicates" `Quick test_index_no_duplicates;
+        Alcotest.test_case "circle query" `Quick test_index_circle_query;
+        Alcotest.test_case "outside bounds clamped" `Quick test_index_outside_bounds_clamped;
+      ] );
+    "geometry.properties", List.map QCheck_alcotest.to_alcotest qcheck_props;
+  ]

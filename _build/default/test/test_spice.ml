@@ -1,0 +1,185 @@
+(* Tests for the SPICE netlist reader/writer. *)
+
+open Circuit
+
+let parse_ok text =
+  match Spice.parse text with
+  | Ok nl -> nl
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let parse_err text =
+  match Spice.parse text with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> e
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+  scan 0
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_divider () =
+  let nl =
+    parse_ok
+      "* a divider\nV1 in 0 DC 10\nR1 in mid 1k\nR2 mid 0 3k\n.END\n"
+  in
+  Alcotest.(check int) "devices" 3 (Netlist.device_count nl);
+  let sol = Engine.dc_operating_point nl in
+  Alcotest.(check (float 1e-6)) "solves" 7.5
+    (Engine.voltage sol (Netlist.node nl "mid"))
+
+let test_parse_suffixes () =
+  let nl =
+    parse_ok "I1 a 0 DC 1m\nR1 a 0 2k\nC1 a 0 100n\nR2 a 0 1MEG\n"
+  in
+  let sol = Engine.dc_operating_point nl in
+  (* 1 mA into 2k || 1M ~ 1.996 V *)
+  Alcotest.(check (float 1e-2)) "engineering values" 2.0
+    (Engine.voltage sol (Netlist.node nl "a"))
+
+let test_parse_mosfet_with_model () =
+  let nl =
+    parse_ok
+      "VDD vdd 0 DC 5\n\
+       VIN in 0 DC 5\n\
+       RL vdd out 10k\n\
+       M1 out in 0 0 NCH W=10u L=1u\n\
+       .MODEL NCH NMOS (VTO=0.8 KP=90u LAMBDA=0.03)\n\
+       .END\n"
+  in
+  let sol = Engine.dc_operating_point nl in
+  Alcotest.(check bool) "transistor pulls down" true
+    (Engine.voltage sol (Netlist.node nl "out") < 0.5)
+
+let test_parse_pwl_and_pulse () =
+  let nl =
+    parse_ok
+      "V1 a 0 PWL(0 0 1u 5)\nV2 b 0 PULSE(0 5 1n 1n 1n 10n 100n)\nR1 a b 1k\n"
+  in
+  Alcotest.(check int) "nodes" 2 (Netlist.node_count nl);
+  (* PWL midpoint check through a transient step at 0.5us. *)
+  let sols = Engine.transient nl ~stop:1e-6 ~step:0.5e-6 in
+  let mid = List.nth sols 1 in
+  Alcotest.(check (float 0.1)) "pwl ramps" 2.5
+    (Engine.voltage mid (Netlist.node nl "a"))
+
+let test_parse_reports_line_numbers () =
+  let e = parse_err "R1 a 0 1k\nR2 a 0 bogus\n" in
+  Alcotest.(check bool) "mentions line 2" true (contains e "line 2")
+
+let test_parse_unknown_model () =
+  let e = parse_err "M1 d g s 0 NOPE W=1u L=1u\n" in
+  Alcotest.(check bool) "unknown model" true (contains e "unknown model")
+
+let test_parse_duplicate_model () =
+  let e =
+    parse_err ".MODEL N NMOS (VTO=0.8)\n.MODEL N NMOS (VTO=0.9)\nR1 a 0 1\n"
+  in
+  Alcotest.(check bool) "duplicate" true (contains e "duplicate model")
+
+let test_parse_unsupported_card () =
+  let e = parse_err "Q1 c b e model\n" in
+  Alcotest.(check bool) "unsupported" true (contains e "unsupported card")
+
+let test_parse_comments_and_blanks () =
+  let nl = parse_ok "\n* only\n\n* comments\nR1 a 0 1k\n\n" in
+  Alcotest.(check int) "one device" 1 (Netlist.device_count nl)
+
+(* ------------------------------------------------------------------ *)
+(* Writer + round trip                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip_comparator () =
+  (* The most demanding netlist in the repo: 20+ MOSFETs, caps, PWL and
+     pulse sources, two MOS models. *)
+  let nl =
+    Adc.Comparator.bench_netlist Adc.Comparator.default_options
+      (Process.Variation.nominal Process.Tech.cmos1um)
+  in
+  match Spice.roundtrip nl with
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Ok back ->
+    Alcotest.(check int) "device count" (Netlist.device_count nl)
+      (Netlist.device_count back);
+    Alcotest.(check int) "node count" (Netlist.node_count nl)
+      (Netlist.node_count back);
+    (* Electrical equivalence: identical DC operating points. *)
+    let sol_a = Engine.dc_operating_point nl in
+    let sol_b = Engine.dc_operating_point back in
+    List.iter
+      (fun name ->
+        let va = Engine.voltage sol_a (Netlist.node nl name) in
+        let vb = Engine.voltage sol_b (Netlist.node back name) in
+        Alcotest.(check (float 1e-6)) ("node " ^ name) va vb)
+      [ "vdd"; "biasn"; "biaslt"; "outp"; "outn"; "tailsrc" ]
+
+let test_writer_emits_models () =
+  let nl =
+    Adc.Comparator.bench_netlist Adc.Comparator.default_options
+      (Process.Variation.nominal Process.Tech.cmos1um)
+  in
+  let text = Spice.to_string nl in
+  Alcotest.(check bool) "has NMOS model" true (contains text "NMOS");
+  Alcotest.(check bool) "has PMOS model" true (contains text "PMOS");
+  Alcotest.(check bool) "ends properly" true (contains text ".END")
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: random RC networks round-trip                               *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~count:50 ~name:"spice: random resistor networks round-trip"
+      (pair (int_range 1 10)
+         (list_of_size (Gen.int_range 1 20)
+            (triple (int_range 0 9) (int_range 0 9) (float_range 1.0 1e6))))
+      (fun (n_nodes, edges) ->
+        let nl = Netlist.create () in
+        let node i =
+          if i = 0 then Netlist.ground
+          else Netlist.node nl (Printf.sprintf "n%d" (i mod (n_nodes + 1)))
+        in
+        let used = ref 0 in
+        List.iter
+          (fun (a, b, r) ->
+            if a mod (n_nodes + 1) <> b mod (n_nodes + 1) then begin
+              incr used;
+              Netlist.add_resistor nl
+                ~name:(Printf.sprintf "R%d" !used)
+                (node a) (node b) r
+            end)
+          edges;
+        !used = 0
+        ||
+        match Spice.roundtrip nl with
+        | Error _ -> false
+        | Ok back ->
+          Netlist.device_count back = Netlist.device_count nl
+          && Netlist.node_count back = Netlist.node_count nl);
+  ]
+
+let suites =
+  [
+    ( "circuit.spice.parse",
+      [
+        Alcotest.test_case "divider" `Quick test_parse_divider;
+        Alcotest.test_case "suffixes" `Quick test_parse_suffixes;
+        Alcotest.test_case "mosfet with model" `Quick test_parse_mosfet_with_model;
+        Alcotest.test_case "pwl and pulse" `Quick test_parse_pwl_and_pulse;
+        Alcotest.test_case "line numbers" `Quick test_parse_reports_line_numbers;
+        Alcotest.test_case "unknown model" `Quick test_parse_unknown_model;
+        Alcotest.test_case "duplicate model" `Quick test_parse_duplicate_model;
+        Alcotest.test_case "unsupported card" `Quick test_parse_unsupported_card;
+        Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blanks;
+      ] );
+    ( "circuit.spice.roundtrip",
+      [
+        Alcotest.test_case "comparator bench" `Quick test_roundtrip_comparator;
+        Alcotest.test_case "writer emits models" `Quick test_writer_emits_models;
+      ] );
+    "circuit.spice.properties", List.map QCheck_alcotest.to_alcotest qcheck_props;
+  ]

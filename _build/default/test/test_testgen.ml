@@ -1,0 +1,192 @@
+(* Tests for the dotest.testgen library: detection mapping, overlap,
+   test time. *)
+
+let mech = Process.Defect_stats.Extra_material Process.Layer.Metal1
+
+let outcome ?(count = 1) voltage currents =
+  {
+    Macro.Evaluate.fault_class =
+      {
+        Fault.Collapse.representative =
+          {
+            Fault.Types.fault =
+              Fault.Types.Bridge
+                { net_a = "a"; net_b = "b"; resistance = 1.0;
+                  capacitance = None; origin = Fault.Types.Short };
+            severity = Fault.Types.Catastrophic;
+            mechanism = mech;
+          };
+        count;
+      };
+    signature = { Macro.Signature.voltage; currents };
+    simulation_failed = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Detection                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_detection_mapping () =
+  let missing v =
+    (Testgen.Detection.of_signature { Macro.Signature.voltage = v; currents = [] })
+      .Testgen.Detection.missing_code
+  in
+  Alcotest.(check bool) "stuck" true (missing Macro.Signature.Output_stuck_at);
+  Alcotest.(check bool) "offset" true (missing Macro.Signature.Offset_too_large);
+  Alcotest.(check bool) "mixed" false (missing Macro.Signature.Mixed);
+  Alcotest.(check bool) "clock" false (missing Macro.Signature.Clock_value);
+  Alcotest.(check bool) "none" false (missing Macro.Signature.No_voltage_deviation)
+
+let test_detection_currents () =
+  let m =
+    Testgen.Detection.of_signature
+      {
+        Macro.Signature.voltage = Macro.Signature.No_voltage_deviation;
+        currents = [ Macro.Signature.IDDQ ];
+      }
+  in
+  Alcotest.(check bool) "iddq set" true m.Testgen.Detection.iddq;
+  Alcotest.(check bool) "not voltage" false (Testgen.Detection.voltage_detected m);
+  Alcotest.(check bool) "current yes" true (Testgen.Detection.current_detected m);
+  Alcotest.(check bool) "detected" true (Testgen.Detection.detected m)
+
+let test_propagation_agrees_with_mapping () =
+  (* The one-to-one mapping of §3.2, validated against the behavioural
+     converter. A long ramp is used so the erratic comparator has enough
+     samples per code. *)
+  let prng = Util.Prng.create 31 in
+  let check v expect =
+    Alcotest.(check bool) (Macro.Signature.voltage_name v) expect
+      (Testgen.Detection.propagate_voltage ~samples:8000 v prng)
+  in
+  check Macro.Signature.Output_stuck_at true;
+  check Macro.Signature.Offset_too_large true;
+  check Macro.Signature.Clock_value false;
+  check Macro.Signature.No_voltage_deviation false
+
+(* ------------------------------------------------------------------ *)
+(* Overlap                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sample_outcomes =
+  [
+    outcome ~count:4 Macro.Signature.Output_stuck_at [ Macro.Signature.IVdd ];
+    outcome ~count:3 Macro.Signature.Offset_too_large [];
+    outcome ~count:2 Macro.Signature.No_voltage_deviation [ Macro.Signature.IDDQ ];
+    outcome ~count:1 Macro.Signature.No_voltage_deviation [];
+  ]
+
+let test_partition_shares_sum () =
+  let cells = Testgen.Overlap.partition sample_outcomes in
+  let total =
+    List.fold_left (fun acc (c : Testgen.Overlap.cell) -> acc +. c.share) 0.0 cells
+  in
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 total
+
+let test_venn_values () =
+  let venn =
+    Testgen.Overlap.venn_of_partition (Testgen.Overlap.partition sample_outcomes)
+  in
+  Alcotest.(check (float 1e-9)) "voltage only" 0.3 venn.Testgen.Overlap.voltage_only;
+  Alcotest.(check (float 1e-9)) "both" 0.4 venn.Testgen.Overlap.both;
+  Alcotest.(check (float 1e-9)) "current only" 0.2 venn.Testgen.Overlap.current_only;
+  Alcotest.(check (float 1e-9)) "undetected" 0.1 venn.Testgen.Overlap.undetected;
+  Alcotest.(check (float 1e-9)) "coverage" 0.9 (Testgen.Overlap.coverage venn)
+
+let test_only_detected_by () =
+  let cells = Testgen.Overlap.partition sample_outcomes in
+  Alcotest.(check (float 1e-9)) "IDDQ only" 0.2
+    (Testgen.Overlap.only_detected_by cells ~mechanism:"IDDQ");
+  Alcotest.(check (float 1e-9)) "missing-code only" 0.3
+    (Testgen.Overlap.only_detected_by cells ~mechanism:"missing-code");
+  Alcotest.check_raises "unknown mechanism"
+    (Invalid_argument "Overlap.only_detected_by: unknown mechanism") (fun () ->
+      ignore (Testgen.Overlap.only_detected_by cells ~mechanism:"bogus"))
+
+let test_mechanism_share () =
+  let cells = Testgen.Overlap.partition sample_outcomes in
+  let shares = Testgen.Overlap.mechanism_share cells in
+  Alcotest.(check (float 1e-9)) "missing-code" 0.7 (List.assoc "missing-code" shares);
+  Alcotest.(check (float 1e-9)) "IVdd" 0.4 (List.assoc "IVdd" shares);
+  Alcotest.(check (float 1e-9)) "IDDQ" 0.2 (List.assoc "IDDQ" shares)
+
+(* ------------------------------------------------------------------ *)
+(* Test time                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_time_budget () =
+  Alcotest.(check (float 1e-12)) "ramp time"
+    (1000.0 *. Adc.Params.period)
+    (Testgen.Test_time.missing_code_time ~samples:1000);
+  Alcotest.(check (float 1e-12)) "current time" 600e-6
+    Testgen.Test_time.current_test_time;
+  Alcotest.(check bool) "total around a millisecond" true
+    (Testgen.Test_time.total > 1e-4 && Testgen.Test_time.total < 1e-2)
+
+
+(* ------------------------------------------------------------------ *)
+(* Quality                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_quality_poisson () =
+  Alcotest.(check (float 1e-9)) "zero defects" 1.0
+    (Testgen.Quality.poisson_yield ~area_mm2:50.0 ~defects_per_cm2:0.0);
+  Alcotest.(check (float 1e-6)) "one defect per die on average"
+    (exp (-1.0))
+    (Testgen.Quality.poisson_yield ~area_mm2:100.0 ~defects_per_cm2:1.0)
+
+let test_quality_williams_brown () =
+  (* Classic point: Y = 0.5, T = 0.9 -> DL = 1 - 0.5^0.1 = 6.7 %. *)
+  Alcotest.(check (float 1e-4)) "known value" 0.0670
+    (Testgen.Quality.defect_level ~yield:0.5 ~coverage:0.9);
+  Alcotest.(check (float 1e-9)) "full coverage ships clean" 0.0
+    (Testgen.Quality.defect_level ~yield:0.5 ~coverage:1.0);
+  Alcotest.(check (float 1e-9)) "no test ships the fallout" 0.5
+    (Testgen.Quality.defect_level ~yield:0.5 ~coverage:0.0)
+
+let test_quality_required_coverage_roundtrip () =
+  let yield_value = 0.7 in
+  let coverage = Testgen.Quality.required_coverage ~yield:yield_value ~target_dpm:100.0 in
+  Alcotest.(check bool) "high coverage needed" true (coverage > 0.99);
+  Alcotest.(check (float 1.0)) "roundtrip" 100.0
+    (Testgen.Quality.dpm ~yield:yield_value ~coverage)
+
+let test_quality_dpm_improves_with_coverage () =
+  let before = Testgen.Quality.dpm ~yield:0.8 ~coverage:0.933 in
+  let after = Testgen.Quality.dpm ~yield:0.8 ~coverage:0.991 in
+  Alcotest.(check bool) "DfT cuts escapes" true (after < before /. 5.0)
+
+let quality_qcheck =
+  QCheck.Test.make ~name:"quality: defect level decreases with coverage"
+    QCheck.(pair (float_range 0.1 0.99) (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+    (fun (yield_value, (c1, c2)) ->
+      let lo = Float.min c1 c2 and hi = Float.max c1 c2 in
+      Testgen.Quality.defect_level ~yield:yield_value ~coverage:hi
+      <= Testgen.Quality.defect_level ~yield:yield_value ~coverage:lo +. 1e-12)
+
+let suites =
+  [
+    ( "testgen.detection",
+      [
+        Alcotest.test_case "mapping" `Quick test_detection_mapping;
+        Alcotest.test_case "currents" `Quick test_detection_currents;
+        Alcotest.test_case "propagation agrees" `Quick test_propagation_agrees_with_mapping;
+      ] );
+    ( "testgen.overlap",
+      [
+        Alcotest.test_case "shares sum" `Quick test_partition_shares_sum;
+        Alcotest.test_case "venn" `Quick test_venn_values;
+        Alcotest.test_case "only detected by" `Quick test_only_detected_by;
+        Alcotest.test_case "mechanism share" `Quick test_mechanism_share;
+      ] );
+    ( "testgen.test_time",
+      [ Alcotest.test_case "budget" `Quick test_time_budget ] );
+    ( "testgen.quality",
+      [
+        Alcotest.test_case "poisson yield" `Quick test_quality_poisson;
+        Alcotest.test_case "williams-brown" `Quick test_quality_williams_brown;
+        Alcotest.test_case "required coverage" `Quick test_quality_required_coverage_roundtrip;
+        Alcotest.test_case "dft cuts escapes" `Quick test_quality_dpm_improves_with_coverage;
+        QCheck_alcotest.to_alcotest quality_qcheck;
+      ] );
+  ]

@@ -1,0 +1,373 @@
+(* Unit and property tests for the dotest.util library. *)
+
+open Util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_floatish msg tolerance expected actual =
+  Alcotest.(check (float tolerance)) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.bits64 a) (Prng.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_prng_copy_independent () =
+  let a = Prng.create 7 in
+  let b = Prng.copy a in
+  let xa = Prng.bits64 a in
+  let xb = Prng.bits64 b in
+  Alcotest.(check int64) "copy starts at same point" xa xb;
+  ignore (Prng.bits64 a);
+  let a3 = Prng.bits64 a in
+  let b2 = Prng.bits64 b in
+  Alcotest.(check bool) "streams advance independently"
+    false (Int64.equal a3 b2 && Int64.equal a3 xb)
+
+let test_prng_split_independent () =
+  let parent = Prng.create 3 in
+  let child = Prng.split parent in
+  let child_first = Prng.bits64 child in
+  (* Same construction must be reproducible. *)
+  let parent' = Prng.create 3 in
+  let child' = Prng.split parent' in
+  Alcotest.(check int64) "split reproducible" child_first (Prng.bits64 child')
+
+let test_prng_int_range () =
+  let prng = Prng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int prng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_invalid () =
+  let prng = Prng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int prng 0))
+
+let test_prng_float_range () =
+  let prng = Prng.create 13 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float prng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let test_prng_uniform_mean () =
+  let prng = Prng.create 17 in
+  let acc = Stats.accumulator () in
+  for _ = 1 to 50_000 do
+    Stats.add acc (Prng.uniform prng ~lo:(-1.0) ~hi:1.0)
+  done;
+  check_floatish "mean near 0" 0.02 0.0 (Stats.mean acc)
+
+let test_prng_bernoulli_rate () =
+  let prng = Prng.create 19 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli prng 0.3 then incr hits
+  done;
+  check_floatish "rate near 0.3" 0.02 0.3 (float_of_int !hits /. float_of_int n)
+
+let test_prng_bernoulli_extremes () =
+  let prng = Prng.create 23 in
+  Alcotest.(check bool) "p=0 never" false (Prng.bernoulli prng 0.0);
+  Alcotest.(check bool) "p=1 always" true (Prng.bernoulli prng 1.0);
+  Alcotest.(check bool) "p<0 never" false (Prng.bernoulli prng (-0.5));
+  Alcotest.(check bool) "p>1 always" true (Prng.bernoulli prng 1.5)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_known_values () =
+  let acc = Stats.accumulator () in
+  List.iter (Stats.add acc) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_float "mean" 5.0 (Stats.mean acc);
+  check_floatish "stddev (sample)" 1e-9 (sqrt (32. /. 7.)) (Stats.stddev acc);
+  Alcotest.(check int) "count" 8 (Stats.count acc);
+  check_float "min" 2.0 (Stats.min_value acc);
+  check_float "max" 9.0 (Stats.max_value acc)
+
+let test_stats_empty_mean () =
+  let acc = Stats.accumulator () in
+  Alcotest.check_raises "empty mean"
+    (Invalid_argument "Stats.mean: empty accumulator") (fun () ->
+      ignore (Stats.mean acc))
+
+let test_stats_single_value_variance () =
+  let acc = Stats.accumulator () in
+  Stats.add acc 42.0;
+  check_float "variance of singleton" 0.0 (Stats.variance acc)
+
+let test_stats_sigma_window () =
+  let acc = Stats.accumulator () in
+  List.iter (Stats.add acc) [ 9.; 10.; 11. ];
+  let w = Stats.sigma_window ~k:3.0 acc in
+  Alcotest.(check bool) "mean inside" true (Stats.inside w 10.0);
+  Alcotest.(check bool) "far value outside" false (Stats.inside w 20.0);
+  let wide = Stats.widen w ~by:10.0 in
+  Alcotest.(check bool) "widened catches it" true (Stats.inside wide 20.0)
+
+let test_stats_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  check_float "median" 3.0 (Stats.percentile 50. xs);
+  check_float "p0" 1.0 (Stats.percentile 0. xs);
+  check_float "p100" 5.0 (Stats.percentile 100. xs);
+  check_float "p25" 2.0 (Stats.percentile 25. xs)
+
+let test_stats_helpers () =
+  check_float "mean_of" 2.0 (Stats.mean_of [ 1.; 2.; 3. ]);
+  check_float "stddev_of" 1.0 (Stats.stddev_of [ 1.; 2.; 3. ])
+
+(* ------------------------------------------------------------------ *)
+(* Distribution                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_normal_moments () =
+  let prng = Prng.create 29 in
+  let acc = Stats.accumulator () in
+  for _ = 1 to 100_000 do
+    Stats.add acc (Distribution.normal prng ~mean:5.0 ~sigma:2.0)
+  done;
+  check_floatish "mean" 0.05 5.0 (Stats.mean acc);
+  check_floatish "sigma" 0.05 2.0 (Stats.stddev acc)
+
+let test_truncated_normal_bounds () =
+  let prng = Prng.create 31 in
+  for _ = 1 to 10_000 do
+    let x =
+      Distribution.truncated_normal prng ~mean:0.0 ~sigma:5.0 ~lo:(-1.0) ~hi:1.0
+    in
+    Alcotest.(check bool) "in bounds" true (x >= -1.0 && x <= 1.0)
+  done
+
+let test_power_law_bounds_and_shape () =
+  let prng = Prng.create 37 in
+  let small = ref 0 and total = 10_000 in
+  for _ = 1 to total do
+    let x = Distribution.power_law_size prng ~x_min:100. ~x_max:10_000. in
+    Alcotest.(check bool) "in bounds" true (x >= 100. && x <= 10_000.);
+    if x < 200. then incr small
+  done;
+  (* For f ∝ x^-3 on [100, 10000], P(x < 200) = (100^-2 - 200^-2)/(100^-2 -
+     10000^-2) ≈ 0.7501: small defects must dominate. *)
+  check_floatish "P(x<2*x_min)" 0.02 0.7501
+    (float_of_int !small /. float_of_int total)
+
+let test_discrete_weights () =
+  let prng = Prng.create 41 in
+  let d = Distribution.discrete [ 1.0, `A; 3.0, `B ] in
+  let hits_b = ref 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    match Distribution.draw prng d with `A -> () | `B -> incr hits_b
+  done;
+  check_floatish "weight ratio" 0.02 0.75 (float_of_int !hits_b /. float_of_int n)
+
+let test_discrete_cases_normalized () =
+  let d = Distribution.discrete [ 2.0, "x"; 6.0, "y" ] in
+  match Distribution.cases d with
+  | [ (px, "x"); (py, "y") ] ->
+    check_float "P(x)" 0.25 px;
+    check_float "P(y)" 0.75 py
+  | _ -> Alcotest.fail "unexpected case list"
+
+let test_discrete_drops_zero_weights () =
+  let prng = Prng.create 43 in
+  let d = Distribution.discrete [ 0.0, `Never; 1.0, `Always ] in
+  for _ = 1 to 1000 do
+    match Distribution.draw prng d with
+    | `Always -> ()
+    | `Never -> Alcotest.fail "zero-weight case drawn"
+  done
+
+let test_discrete_rejects_all_zero () =
+  Alcotest.check_raises "no positive weights"
+    (Invalid_argument "Distribution.discrete: no positive weights") (fun () ->
+      ignore (Distribution.discrete [ 0.0, `A ]))
+
+let test_shuffle_permutation () =
+  let prng = Prng.create 47 in
+  let arr = Array.init 100 Fun.id in
+  Distribution.shuffle prng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 100 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Union_find                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_uf_basic () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "initial sets" 5 (Union_find.set_count uf);
+  Alcotest.(check bool) "union merges" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "redundant union" false (Union_find.union uf 0 1);
+  Alcotest.(check bool) "same" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "not same" false (Union_find.same uf 0 2);
+  Alcotest.(check int) "set count" 4 (Union_find.set_count uf)
+
+let test_uf_transitivity () =
+  let uf = Union_find.create 6 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 1 2);
+  ignore (Union_find.union uf 3 4);
+  Alcotest.(check bool) "0~2" true (Union_find.same uf 0 2);
+  Alcotest.(check bool) "3~4" true (Union_find.same uf 3 4);
+  Alcotest.(check bool) "0!~3" false (Union_find.same uf 0 3)
+
+let test_uf_groups () =
+  let uf = Union_find.create 5 in
+  ignore (Union_find.union uf 0 2);
+  ignore (Union_find.union uf 1 3);
+  Alcotest.(check (list (list int)))
+    "groups sorted" [ [ 0; 2 ]; [ 1; 3 ]; [ 4 ] ] (Union_find.groups uf)
+
+let test_uf_empty () =
+  let uf = Union_find.create 0 in
+  Alcotest.(check int) "no sets" 0 (Union_find.set_count uf);
+  Alcotest.(check (list (list int))) "no groups" [] (Union_find.groups uf)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let contains_substring hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_table_render () =
+  let t =
+    Table.create ~columns:[ "name", Table.Left; "value", Table.Right ]
+  in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains cell" true (contains_substring s "alpha");
+  Alcotest.(check bool) "contains header" true (contains_substring s "name")
+
+let test_table_alignment () =
+  let t = Table.create ~columns:[ "h", Table.Right ] in
+  Table.add_row t [ "x" ];
+  Table.add_row t [ "long" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  (* Right-aligned short cell must be padded on the left. *)
+  let has_padded = List.exists (fun line -> contains_substring line "|    x |") lines in
+  Alcotest.(check bool) "right aligned" true has_padded
+
+let test_table_cells () =
+  Alcotest.(check string) "pct" "93.3%" (Table.cell_pct 93.3);
+  Alcotest.(check string) "pct decimals" "93%" (Table.cell_pct ~decimals:0 93.3);
+  Alcotest.(check string) "float" "1.50" (Table.cell_float ~decimals:2 1.5)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"prng: int always in bounds"
+      (pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let prng = Prng.create seed in
+        let v = Prng.int prng bound in
+        v >= 0 && v < bound);
+    Test.make ~name:"stats: mean within [min, max]"
+      (list_of_size (Gen.int_range 1 50) (float_range (-1e6) 1e6))
+      (fun xs ->
+        let acc = Stats.accumulator () in
+        List.iter (Stats.add acc) xs;
+        let m = Stats.mean acc in
+        m >= Stats.min_value acc -. 1e-6 && m <= Stats.max_value acc +. 1e-6);
+    Test.make ~name:"stats: sigma window contains mean"
+      (list_of_size (Gen.int_range 2 50) (float_range (-1e3) 1e3))
+      (fun xs ->
+        let acc = Stats.accumulator () in
+        List.iter (Stats.add acc) xs;
+        Stats.inside (Stats.sigma_window acc) (Stats.mean acc));
+    Test.make ~name:"union_find: groups partition the universe"
+      (pair (int_range 1 40) (small_list (pair (int_range 0 39) (int_range 0 39))))
+      (fun (n, unions) ->
+        let uf = Union_find.create n in
+        List.iter (fun (i, j) -> if i < n && j < n then ignore (Union_find.union uf i j)) unions;
+        let members = List.concat (Union_find.groups uf) in
+        List.sort compare members = List.init n Fun.id);
+    Test.make ~name:"union_find: set_count matches groups"
+      (pair (int_range 1 40) (small_list (pair (int_range 0 39) (int_range 0 39))))
+      (fun (n, unions) ->
+        let uf = Union_find.create n in
+        List.iter (fun (i, j) -> if i < n && j < n then ignore (Union_find.union uf i j)) unions;
+        Union_find.set_count uf = List.length (Union_find.groups uf));
+    Test.make ~name:"percentile is monotone in p"
+      (pair (list_of_size (Gen.int_range 1 30) (float_range (-100.) 100.))
+         (pair (float_range 0. 100.) (float_range 0. 100.)))
+      (fun (xs, (p1, p2)) ->
+        let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+        Stats.percentile lo xs <= Stats.percentile hi xs +. 1e-9);
+  ]
+
+let suites =
+  [
+    ( "util.prng",
+      [
+        Alcotest.test_case "determinism" `Quick test_prng_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+        Alcotest.test_case "copy independence" `Quick test_prng_copy_independent;
+        Alcotest.test_case "split reproducible" `Quick test_prng_split_independent;
+        Alcotest.test_case "int range" `Quick test_prng_int_range;
+        Alcotest.test_case "int invalid bound" `Quick test_prng_int_invalid;
+        Alcotest.test_case "float range" `Quick test_prng_float_range;
+        Alcotest.test_case "uniform mean" `Quick test_prng_uniform_mean;
+        Alcotest.test_case "bernoulli rate" `Quick test_prng_bernoulli_rate;
+        Alcotest.test_case "bernoulli extremes" `Quick test_prng_bernoulli_extremes;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "known values" `Quick test_stats_known_values;
+        Alcotest.test_case "empty mean raises" `Quick test_stats_empty_mean;
+        Alcotest.test_case "singleton variance" `Quick test_stats_single_value_variance;
+        Alcotest.test_case "sigma window" `Quick test_stats_sigma_window;
+        Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "helpers" `Quick test_stats_helpers;
+      ] );
+    ( "util.distribution",
+      [
+        Alcotest.test_case "normal moments" `Quick test_normal_moments;
+        Alcotest.test_case "truncated normal bounds" `Quick test_truncated_normal_bounds;
+        Alcotest.test_case "power law shape" `Quick test_power_law_bounds_and_shape;
+        Alcotest.test_case "discrete weights" `Quick test_discrete_weights;
+        Alcotest.test_case "discrete cases normalized" `Quick test_discrete_cases_normalized;
+        Alcotest.test_case "discrete drops zero weights" `Quick test_discrete_drops_zero_weights;
+        Alcotest.test_case "discrete rejects all-zero" `Quick test_discrete_rejects_all_zero;
+        Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+      ] );
+    ( "util.union_find",
+      [
+        Alcotest.test_case "basic" `Quick test_uf_basic;
+        Alcotest.test_case "transitivity" `Quick test_uf_transitivity;
+        Alcotest.test_case "groups" `Quick test_uf_groups;
+        Alcotest.test_case "empty" `Quick test_uf_empty;
+      ] );
+    ( "util.table",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "alignment" `Quick test_table_alignment;
+        Alcotest.test_case "cell formatting" `Quick test_table_cells;
+      ] );
+    "util.properties", List.map QCheck_alcotest.to_alcotest qcheck_props;
+  ]
