@@ -5,12 +5,30 @@
 
    Flags:
      --quick         smaller defect counts (fast smoke run)
-     --timings       include bechamel micro-benchmarks
-     --no-ablations  skip the ablation sweeps                           *)
+     --timings       include bechamel micro-benchmarks + parallel scaling
+     --no-ablations  skip the ablation sweeps
+     --jobs N        worker domains (default: cores-1, min 1; DOTEST_JOBS)
+     --json          emit per-stage timings of the comparator pipeline as
+                     one JSON object on stdout and exit (machine-readable
+                     perf trajectory; nothing else is printed)           *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let timings = Array.exists (( = ) "--timings") Sys.argv
 let no_ablations = Array.exists (( = ) "--no-ablations") Sys.argv
+let json_mode = Array.exists (( = ) "--json") Sys.argv
+
+let jobs =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then Util.Pool.default_jobs ()
+    else if Sys.argv.(i) = "--jobs" then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some n when n > 0 -> n
+      | Some _ | None -> failwith "--jobs expects a positive integer"
+    else scan (i + 1)
+  in
+  scan 1
+
+let () = Util.Pool.set_jobs jobs
 
 let config =
   if quick then
@@ -65,7 +83,7 @@ let comparator_experiments () =
 let global_experiments () =
   banner "Experiment F4/F5/X1/X2: global coverage and DfT";
   let run macros =
-    Core.Global.combine (List.map (Core.Pipeline.analyze config) macros)
+    Core.Global.combine (Core.Pipeline.analyze_all config macros)
   in
   let original, dt_original =
     seconds (fun () -> run (Dft.Measures.original ()))
@@ -365,21 +383,123 @@ let bechamel_timings () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Parallel scaling (--timings)                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One rendering of everything the coverage analysis produced; two runs
+   are equivalent iff these strings are byte-identical. *)
+let coverage_fingerprint (a : Core.Pipeline.macro_analysis) =
+  String.concat "\n"
+    [
+      Util.Table.render (Core.Report.table1 a);
+      Util.Table.render (Core.Report.table2 a);
+      Util.Table.render (Core.Report.table3 a);
+      Util.Table.render (Core.Report.figure3 a);
+    ]
+
+let parallel_scaling () =
+  banner "Parallel scaling: comparator pipeline (jobs=1 vs --jobs)";
+  let macro = Adc.Comparator.macro Adc.Comparator.default_options in
+  ignore (Lazy.force macro.Macro.Macro_cell.cell);
+  let timed j =
+    Util.Pool.set_jobs j;
+    seconds (fun () -> Core.Pipeline.analyze config macro)
+  in
+  let a1, t1 = timed 1 in
+  let an, tn = timed jobs in
+  Util.Pool.set_jobs jobs;
+  note "jobs=1: %.2f s    jobs=%d: %.2f s    speedup: %.2fx@." t1 jobs tn
+    (t1 /. tn);
+  if coverage_fingerprint a1 = coverage_fingerprint an then
+    note "coverage tables: byte-identical across job counts@."
+  else begin
+    note "coverage tables: MISMATCH between jobs=1 and jobs=%d@." jobs;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable timings (--json)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-stage wall-clock of the comparator pipeline as one JSON object on
+   stdout: the perf trajectory future PRs compare against (BENCH_*.json). *)
+let json_run () =
+  let macro = Adc.Comparator.macro Adc.Comparator.default_options in
+  let cell = Lazy.force macro.Macro.Macro_cell.cell in
+  let nominal =
+    macro.Macro.Macro_cell.build
+      (Process.Variation.nominal config.Core.Pipeline.tech)
+  in
+  let prng = Util.Prng.create config.Core.Pipeline.seed in
+  let defect_prng = Util.Prng.split prng in
+  let good_prng = Util.Prng.split prng in
+  let t_start = Unix.gettimeofday () in
+  let defects, sprinkle_s =
+    seconds (fun () ->
+        Defect.Simulate.run ~tech:config.Core.Pipeline.tech
+          ~stats:config.Core.Pipeline.stats ~cell ~netlist:nominal defect_prng
+          ~n:config.Core.Pipeline.defects)
+  in
+  let (cat, ncat), collapse_s =
+    seconds (fun () ->
+        let cat = Fault.Collapse.collapse defects.Defect.Simulate.instances in
+        ( cat,
+          Fault.Collapse.derive_non_catastrophic
+            ~tech:config.Core.Pipeline.tech cat ))
+  in
+  let good, good_space_s =
+    seconds (fun () ->
+        Macro.Good_space.compile ~n:config.Core.Pipeline.good_space_dies
+          ~k:config.Core.Pipeline.sigma ~tech:config.Core.Pipeline.tech macro
+          good_prng)
+  in
+  let (out_cat, out_ncat), evaluate_s =
+    seconds (fun () ->
+        ( Macro.Evaluate.run ~macro ~good cat,
+          Macro.Evaluate.run ~macro ~good ncat ))
+  in
+  let total_s = Unix.gettimeofday () -. t_start in
+  let coverage outcomes =
+    Testgen.Overlap.coverage
+      (Testgen.Overlap.venn_of_partition (Testgen.Overlap.partition outcomes))
+  in
+  Printf.printf
+    "{\"schema\":\"dotest-bench/1\",\"macro\":\"comparator\",\
+     \"mode\":\"%s\",\"jobs\":%d,\"seed\":%d,\"defects\":%d,\
+     \"effective\":%d,\"classes_catastrophic\":%d,\
+     \"classes_non_catastrophic\":%d,\
+     \"coverage_catastrophic\":%.6f,\"coverage_non_catastrophic\":%.6f,\
+     \"stages\":{\"sprinkle_s\":%.6f,\"collapse_s\":%.6f,\
+     \"good_space_s\":%.6f,\"evaluate_s\":%.6f,\"total_s\":%.6f}}\n"
+    (if quick then "quick" else "full")
+    jobs config.Core.Pipeline.seed defects.Defect.Simulate.sprinkled
+    defects.Defect.Simulate.effective (List.length cat) (List.length ncat)
+    (coverage out_cat) (coverage out_ncat) sprinkle_s collapse_s good_space_s
+    evaluate_s total_s
+
+(* ------------------------------------------------------------------ *)
 
 let () =
-  Format.printf
-    "dotest benchmark harness — reproduction of Kuijstermans, Thijssen & \
-     Sachdev, DATE 1995%s@."
-    (if quick then " (quick mode)" else "");
-  comparator_experiments ();
-  global_experiments ();
-  quality_experiment ();
-  amplifier_experiment ();
-  if not no_ablations then begin
-    ablation_sigma ();
-    ablation_samples ();
-    ablation_near_miss ();
-    ablation_defect_count ()
-  end;
-  if timings then bechamel_timings ();
-  Format.printf "@.done.@."
+  if json_mode then json_run ()
+  else begin
+    Format.printf
+      "dotest benchmark harness — reproduction of Kuijstermans, Thijssen & \
+       Sachdev, DATE 1995%s (jobs=%d)@."
+      (if quick then " (quick mode)" else "")
+      jobs;
+    comparator_experiments ();
+    global_experiments ();
+    quality_experiment ();
+    amplifier_experiment ();
+    if not no_ablations then begin
+      ablation_sigma ();
+      ablation_samples ();
+      ablation_near_miss ();
+      ablation_defect_count ()
+    end;
+    if timings then begin
+      parallel_scaling ();
+      bechamel_timings ()
+    end;
+    Format.printf "@.done.@."
+  end

@@ -23,6 +23,15 @@ let config_of ~defects ~dies ~sigma ~seed =
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log pipeline progress.")
 
+let jobs =
+  Arg.(
+    value
+    & opt int (Util.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "DOTEST_JOBS")
+        ~doc:
+          "Worker domains for the parallel pipeline stages (default: cores \
+           minus one, at least 1). Results are identical for any value.")
+
 let defects =
   Arg.(
     value
@@ -59,8 +68,9 @@ let print_table title table =
 (* --- commands ----------------------------------------------------------- *)
 
 let comparator_cmd =
-  let run verbose defects dies sigma seed dft =
+  let run verbose jobs defects dies sigma seed dft =
     setup_logging verbose;
+    Util.Pool.set_jobs jobs;
     let config = config_of ~defects ~dies ~sigma ~seed in
     let options =
       if dft then Adc.Comparator.dft_options else Adc.Comparator.default_options
@@ -76,15 +86,16 @@ let comparator_cmd =
   Cmd.v
     (Cmd.info "comparator"
        ~doc:"Run the defect-oriented test path for the comparator macro.")
-    Term.(const run $ verbose $ defects $ dies $ sigma $ seed $ dft)
+    Term.(const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ dft)
 
 let global_cmd =
-  let run verbose defects dies sigma seed dft =
+  let run verbose jobs defects dies sigma seed dft =
     setup_logging verbose;
+    Util.Pool.set_jobs jobs;
     let config = config_of ~defects ~dies ~sigma ~seed in
     let measures = if dft then Dft.Measures.all_measures else [] in
     let macros = Dft.Measures.macro_set ~measures in
-    let analyses = List.map (Core.Pipeline.analyze config) macros in
+    let analyses = Core.Pipeline.analyze_all config macros in
     let g = Core.Global.combine analyses in
     print_table
       (if dft then "Fig. 5: global detectability after DfT"
@@ -96,11 +107,12 @@ let global_cmd =
   Cmd.v
     (Cmd.info "global"
        ~doc:"Run all five macros and the global scaling step.")
-    Term.(const run $ verbose $ defects $ dies $ sigma $ seed $ dft)
+    Term.(const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ dft)
 
 let dft_cmd =
-  let run verbose defects dies sigma seed =
+  let run verbose jobs defects dies sigma seed =
     setup_logging verbose;
+    Util.Pool.set_jobs jobs;
     let config = config_of ~defects ~dies ~sigma ~seed in
     let original, improved = Dft.Measures.compare_coverage ~config () in
     print_table "Fig. 4: before DfT" (Core.Report.figure4 original);
@@ -114,7 +126,7 @@ let dft_cmd =
   in
   Cmd.v
     (Cmd.info "dft" ~doc:"Compare coverage before and after the DfT measures.")
-    Term.(const run $ verbose $ defects $ dies $ sigma $ seed)
+    Term.(const run $ verbose $ jobs $ defects $ dies $ sigma $ seed)
 
 let ramp_cmd =
   let run samples =

@@ -16,19 +16,17 @@ let () =
   let config = Core.Pipeline.default_config in
 
   section "per-macro analysis";
-  let analyses =
-    List.map
-      (fun macro ->
-        let a = Core.Pipeline.analyze config macro in
-        Format.printf
-          "  %-16s %6d defects -> %4d classes; cell %9d um^2 x %d@."
-          macro.Macro.Macro_cell.name a.Core.Pipeline.sprinkled
-          (List.length a.Core.Pipeline.classes_catastrophic)
-          (Layout.Cell.area (Lazy.force macro.Macro.Macro_cell.cell) / 1_000_000)
-          macro.Macro.Macro_cell.instances;
-        a)
-      (Dft.Measures.original ())
-  in
+  let macros = Dft.Measures.original () in
+  let analyses = Core.Pipeline.analyze_all config macros in
+  List.iter2
+    (fun macro (a : Core.Pipeline.macro_analysis) ->
+      Format.printf
+        "  %-16s %6d defects -> %4d classes; cell %9d um^2 x %d@."
+        macro.Macro.Macro_cell.name a.Core.Pipeline.sprinkled
+        (List.length a.Core.Pipeline.classes_catastrophic)
+        (Layout.Cell.area (Lazy.force macro.Macro.Macro_cell.cell) / 1_000_000)
+        macro.Macro.Macro_cell.instances)
+    macros analyses;
 
   section "global scaling (Fig. 4)";
   let g = Core.Global.combine analyses in
@@ -65,7 +63,7 @@ let () =
     Dft.Measures.all_measures;
   let improved =
     Core.Global.combine
-      (List.map (Core.Pipeline.analyze config) (Dft.Measures.improved ()))
+      (Core.Pipeline.analyze_all config (Dft.Measures.improved ()))
   in
   Format.printf "%s@." (Util.Table.render (Core.Report.figure4 improved));
   Format.printf "coverage: %.1f%% -> %.1f%% (catastrophic)@."

@@ -78,6 +78,16 @@ let analyze config (macro : Macro.Macro_cell.t) =
     outcomes_non_catastrophic;
   }
 
+let analyze_all config macros =
+  (* Force every layout before the fan-out: lazies must not be forced
+     concurrently, and the same macro value may appear more than once. *)
+  List.iter
+    (fun (m : Macro.Macro_cell.t) -> ignore (Lazy.force m.Macro.Macro_cell.cell))
+    macros;
+  (* The per-macro stages degrade to sequential inside pool workers, so
+     this spawns at most [Util.Pool.jobs ()] domains in total. *)
+  Util.Pool.parallel_map (analyze config) macros
+
 let outcomes analysis = function
   | Fault.Types.Catastrophic -> analysis.outcomes_catastrophic
   | Fault.Types.Non_catastrophic -> analysis.outcomes_non_catastrophic

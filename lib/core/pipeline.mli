@@ -28,8 +28,17 @@ type macro_analysis = {
 }
 
 (** [analyze config macro] runs the whole per-macro path. Deterministic
-    for a given [config.seed]. *)
+    for a given [config.seed] regardless of the {!Util.Pool} job count:
+    the defect draws are chunked with per-chunk PRNG streams and all
+    parallel stages merge in input order. *)
 val analyze : config -> Macro.Macro_cell.t -> macro_analysis
+
+(** [analyze_all config macros] analyses independent macros concurrently
+    on the {!Util.Pool} (their layouts are forced up front; the stages
+    inside each macro then run sequentially, so the pool is never
+    oversubscribed). Same results, in the same order, as
+    [List.map (analyze config) macros]. *)
+val analyze_all : config -> Macro.Macro_cell.t list -> macro_analysis list
 
 (** All outcomes of one severity. *)
 val outcomes :

@@ -407,7 +407,13 @@ let analyze ~tech ~cell ~netlist ~extraction mechanism circle =
     | Process.Defect_stats.Missing_contact ->
       analyze_missing_contact ~cell ~extraction hits_all circle mechanism
 
-let run ~tech ~stats ~cell ~netlist prng ~n =
+(* Draws are partitioned into fixed-size chunks; the partition depends only
+   on [n], never on the job count. Each chunk consumes its own split PRNG
+   stream and chunk results are merged in chunk order, so the output is
+   bit-identical whether the chunks run on one domain or eight. *)
+let chunk_size = 1_000
+
+let run ?jobs ~tech ~stats ~cell ~netlist prng ~n =
   if n <= 0 then invalid_arg "Defect.Simulate.run: n must be positive";
   let extraction = Layout.Extract.extract cell in
   let bounds = Layout.Cell.bounds cell in
@@ -415,21 +421,33 @@ let run ~tech ~stats ~cell ~netlist prng ~n =
   let field = Geometry.Rect.inflate bounds margin in
   let x0 = fst (Geometry.Rect.center field) - (Geometry.Rect.width field / 2) in
   let y0 = snd (Geometry.Rect.center field) - (Geometry.Rect.height field / 2) in
-  let effective = ref 0 in
-  let instances = ref [] in
-  for _ = 1 to n do
-    let mechanism = Process.Defect_stats.sample_mechanism stats prng in
-    let diameter = Process.Defect_stats.sample_size stats prng mechanism in
-    let cx = x0 + Util.Prng.int prng (Geometry.Rect.width field) in
-    let cy = y0 + Util.Prng.int prng (Geometry.Rect.height field) in
-    let circle = Geometry.Circle.create ~cx ~cy ~radius:(diameter /. 2.) in
-    match analyze ~tech ~cell ~netlist ~extraction mechanism circle with
-    | [] -> ()
-    | faults ->
-      incr effective;
-      instances := List.rev_append faults !instances
-  done;
+  (* Split streams are drawn sequentially from the caller's generator, one
+     per chunk, before any worker starts. *)
+  let streams =
+    Util.Pool.chunk_ranges ~n ~chunk_size
+    |> List.map (fun (_, length) -> Util.Prng.split prng, length)
+  in
+  let sprinkle_chunk (rng, length) =
+    let effective = ref 0 in
+    let instances = ref [] in
+    for _ = 1 to length do
+      let mechanism = Process.Defect_stats.sample_mechanism stats rng in
+      let diameter = Process.Defect_stats.sample_size stats rng mechanism in
+      let cx = x0 + Util.Prng.int rng (Geometry.Rect.width field) in
+      let cy = y0 + Util.Prng.int rng (Geometry.Rect.height field) in
+      let circle = Geometry.Circle.create ~cx ~cy ~radius:(diameter /. 2.) in
+      match analyze ~tech ~cell ~netlist ~extraction mechanism circle with
+      | [] -> ()
+      | faults ->
+        incr effective;
+        instances := List.rev_append faults !instances
+    done;
+    !effective, List.rev !instances
+  in
+  let per_chunk = Util.Pool.parallel_map ?jobs sprinkle_chunk streams in
+  let effective = List.fold_left (fun acc (e, _) -> acc + e) 0 per_chunk in
+  let instances = List.concat_map snd per_chunk in
   Log.info (fun m ->
       m "sprinkled %d defects on %s: %d effective" n (Layout.Cell.name cell)
-        !effective);
-  { sprinkled = n; effective = !effective; instances = List.rev !instances }
+        effective);
+  { sprinkled = n; effective; instances }

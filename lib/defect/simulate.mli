@@ -39,8 +39,14 @@ val analyze :
   Fault.Types.instance list
 
 (** [run ~tech ~stats ~cell ~netlist prng ~n] sprinkles [n] spots and
-    collects the effective ones. Deterministic for a given PRNG state. *)
+    collects the effective ones. The draws are partitioned into fixed-size
+    chunks, each consuming its own [Util.Prng.split] stream, and the chunks
+    run on a {!Util.Pool} of [?jobs] worker domains (defaulting to the
+    pool's process-wide setting). Because the partition and the stream
+    assignment depend only on [n] and the PRNG state — never on the job
+    count — the result is bit-identical for any [?jobs]. *)
 val run :
+  ?jobs:int ->
   tech:Process.Tech.t ->
   stats:Process.Defect_stats.t ->
   cell:Layout.Cell.t ->

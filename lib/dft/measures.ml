@@ -30,7 +30,7 @@ let improved () = macro_set ~measures:all_measures
 
 let compare_coverage ?(config = Core.Pipeline.default_config) () =
   let run macros =
-    Core.Global.combine (List.map (Core.Pipeline.analyze config) macros)
+    Core.Global.combine (Core.Pipeline.analyze_all config macros)
   in
   run (original ()), run (improved ())
 

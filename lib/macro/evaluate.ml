@@ -8,11 +8,7 @@ let src = Logs.Src.create "dotest.macro" ~doc:"macro fault simulation"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-let evaluate_class ~(macro : Macro_cell.t) ~good ~golden fc =
-  let nominal =
-    macro.Macro_cell.build
-      (Process.Variation.nominal Process.Tech.cmos1um)
-  in
+let evaluate_class ~(macro : Macro_cell.t) ~nominal ~good ~golden fc =
   let faulty_netlist =
     Fault.Inject.inject_instance nominal fc.Fault.Collapse.representative
   in
@@ -34,12 +30,15 @@ let evaluate_class ~(macro : Macro_cell.t) ~good ~golden fc =
       simulation_failed = true;
     }
 
-let run ~(macro : Macro_cell.t) ~good classes =
-  let golden =
-    macro.Macro_cell.measure
-      (macro.Macro_cell.build (Process.Variation.nominal Process.Tech.cmos1um))
+let run ?jobs ~(macro : Macro_cell.t) ~good classes =
+  (* The nominal netlist is built once and shared by every class: injection
+     copies it before mutating, so parallel workers only ever read it. *)
+  let nominal =
+    macro.Macro_cell.build (Process.Variation.nominal Process.Tech.cmos1um)
   in
-  List.map (evaluate_class ~macro ~good ~golden) classes
+  let golden = macro.Macro_cell.measure nominal in
+  Util.Pool.parallel_map ?jobs (evaluate_class ~macro ~nominal ~good ~golden)
+    classes
 
 let total_weight outcomes =
   float_of_int

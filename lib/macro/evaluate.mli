@@ -13,19 +13,26 @@ type outcome = {
   simulation_failed : bool;
 }
 
-(** [evaluate_class ~macro ~good ~golden fc] fault-simulates one class.
-    [golden] is the nominal fault-free measurement vector (pass the same
-    one to every call; it is the reference for voltage classification). *)
+(** [evaluate_class ~macro ~nominal ~good ~golden fc] fault-simulates one
+    class. [nominal] is the macro's fault-free netlist (built once by the
+    caller; injection copies it, so it is never mutated) and [golden] is
+    the nominal fault-free measurement vector (pass the same one to every
+    call; it is the reference for voltage classification). *)
 val evaluate_class :
   macro:Macro_cell.t ->
+  nominal:Circuit.Netlist.t ->
   good:Good_space.t ->
   golden:Macro_cell.vector ->
   Fault.Collapse.fault_class ->
   outcome
 
-(** [run ~macro ~good classes] evaluates every class (in order),
-    measuring the golden vector once. *)
+(** [run ~macro ~good classes] evaluates every class, building the nominal
+    netlist and measuring the golden vector once. Classes are simulated on
+    a {!Util.Pool} of [?jobs] worker domains (defaulting to the pool's
+    process-wide setting); outcomes keep the input order, so the result is
+    identical for any job count. *)
 val run :
+  ?jobs:int ->
   macro:Macro_cell.t ->
   good:Good_space.t ->
   Fault.Collapse.fault_class list ->

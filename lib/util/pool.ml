@@ -1,0 +1,91 @@
+let default_jobs () =
+  match Sys.getenv_opt "DOTEST_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | Some _ | None -> max 1 (Domain.recommended_domain_count () - 1))
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+(* 0 means "unset": fall back to [default_jobs] so the environment knob
+   keeps working until the front end parses --jobs. *)
+let configured = Atomic.make 0
+
+let set_jobs n = Atomic.set configured (max 1 n)
+
+let jobs () =
+  match Atomic.get configured with 0 -> default_jobs () | n -> n
+
+(* Workers flag their domain so nested combinators degrade to sequential
+   maps instead of spawning domains under domains. *)
+let inside_worker = Domain.DLS.new_key (fun () -> false)
+
+let effective_jobs requested =
+  if Domain.DLS.get inside_worker then 1
+  else max 1 (match requested with Some n -> n | None -> jobs ())
+
+let parallel_mapi ?jobs:requested f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f 0 x ]
+  | _ ->
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    let workers = min (effective_jobs requested) n in
+    if workers <= 1 then List.mapi f xs
+    else begin
+      let results = Array.make n None in
+      let failures = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        Domain.DLS.set inside_worker true;
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (match f i items.(i) with
+            | v -> results.(i) <- Some v
+            | exception e ->
+              failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+      (* The calling domain works too; restore its flag afterwards so later
+         top-level calls still parallelise. *)
+      let was_inside = Domain.DLS.get inside_worker in
+      Fun.protect
+        ~finally:(fun () ->
+          Domain.DLS.set inside_worker was_inside;
+          Array.iter Domain.join spawned)
+        worker;
+      Array.iter
+        (function
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ())
+        failures;
+      Array.to_list
+        (Array.map
+           (function
+             | Some v -> v
+             | None -> assert false (* every index ran or raised above *))
+           results)
+    end
+
+let parallel_map ?jobs f xs = parallel_mapi ?jobs (fun _ x -> f x) xs
+
+let chunk_ranges ~n ~chunk_size =
+  if n < 0 then invalid_arg "Pool.chunk_ranges: n must be non-negative";
+  if chunk_size <= 0 then
+    invalid_arg "Pool.chunk_ranges: chunk_size must be positive";
+  let rec build offset acc =
+    if offset >= n then List.rev acc
+    else
+      let length = min chunk_size (n - offset) in
+      build (offset + length) ((offset, length) :: acc)
+  in
+  build 0 []
+
+let parallel_chunks ?jobs ~n ~chunk_size f =
+  chunk_ranges ~n ~chunk_size
+  |> parallel_mapi ?jobs (fun chunk (offset, length) -> f ~chunk ~offset ~length)

@@ -43,6 +43,42 @@ let test_pipeline_deterministic () =
   in
   Alcotest.(check (float 1e-12)) "same coverage" (coverage a) (coverage b)
 
+let test_pipeline_jobs_invariant () =
+  (* The hard determinism requirement of the parallel layer: the analysis
+     must be bit-identical whatever the worker-domain count. *)
+  let with_jobs jobs =
+    let saved = Util.Pool.jobs () in
+    Util.Pool.set_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Util.Pool.set_jobs saved)
+      (fun () ->
+        Core.Pipeline.analyze small_config
+          (Adc.Comparator.macro Adc.Comparator.default_options))
+  in
+  let a = with_jobs 1 in
+  let b = with_jobs 4 in
+  Alcotest.(check int) "same sprinkled" a.Core.Pipeline.sprinkled
+    b.Core.Pipeline.sprinkled;
+  Alcotest.(check int) "same effective" a.Core.Pipeline.effective
+    b.Core.Pipeline.effective;
+  Alcotest.(check bool) "same catastrophic classes" true
+    (a.Core.Pipeline.classes_catastrophic
+    = b.Core.Pipeline.classes_catastrophic);
+  Alcotest.(check bool) "same non-catastrophic classes" true
+    (a.Core.Pipeline.classes_non_catastrophic
+    = b.Core.Pipeline.classes_non_catastrophic);
+  let signatures x =
+    List.map
+      (fun (o : Macro.Evaluate.outcome) -> o.signature)
+      x.Core.Pipeline.outcomes_catastrophic
+  in
+  Alcotest.(check bool) "same signatures" true (signatures a = signatures b);
+  let render x =
+    Util.Table.render (Core.Report.table2 x)
+    ^ Util.Table.render (Core.Report.table3 x)
+  in
+  Alcotest.(check string) "byte-identical coverage tables" (render a) (render b)
+
 let test_pipeline_seed_changes_results () =
   let a = Lazy.force comparator_analysis in
   let b =
@@ -156,6 +192,7 @@ let suites =
       [
         Alcotest.test_case "produces outcomes" `Slow test_pipeline_produces_outcomes;
         Alcotest.test_case "deterministic" `Slow test_pipeline_deterministic;
+        Alcotest.test_case "jobs invariant" `Slow test_pipeline_jobs_invariant;
         Alcotest.test_case "seed sensitivity" `Slow test_pipeline_seed_changes_results;
         Alcotest.test_case "paper shape holds" `Slow test_pipeline_comparator_shape;
       ] );

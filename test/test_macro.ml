@@ -130,14 +130,15 @@ let fault_class fault =
 let test_evaluate_detects_hard_short () =
   let macro = toy_macro () in
   let good = compile_good () in
-  let golden = toy_measure (toy_build (Process.Variation.nominal tech)) in
+  let nominal = toy_build (Process.Variation.nominal tech) in
+  let golden = toy_measure nominal in
   let fc =
     fault_class
       (Fault.Types.Bridge
          { net_a = "mid"; net_b = "0"; resistance = 1.0; capacitance = None;
            origin = Fault.Types.Short })
   in
-  let o = Macro.Evaluate.evaluate_class ~macro ~good ~golden fc in
+  let o = Macro.Evaluate.evaluate_class ~macro ~nominal ~good ~golden fc in
   Alcotest.(check bool) "stuck" true
     (o.signature.Macro.Signature.voltage = Macro.Signature.Output_stuck_at);
   Alcotest.(check bool) "IVdd deviates" true
@@ -147,7 +148,8 @@ let test_evaluate_detects_hard_short () =
 let test_evaluate_benign_fault () =
   let macro = toy_macro () in
   let good = compile_good () in
-  let golden = toy_measure (toy_build (Process.Variation.nominal tech)) in
+  let nominal = toy_build (Process.Variation.nominal tech) in
+  let golden = toy_measure nominal in
   (* A 10 Mohm bridge moves nothing measurable. *)
   let fc =
     fault_class
@@ -155,7 +157,7 @@ let test_evaluate_benign_fault () =
          { net_a = "mid"; net_b = "0"; resistance = 1e7; capacitance = None;
            origin = Fault.Types.Short })
   in
-  let o = Macro.Evaluate.evaluate_class ~macro ~good ~golden fc in
+  let o = Macro.Evaluate.evaluate_class ~macro ~nominal ~good ~golden fc in
   Alcotest.(check bool) "no deviation" true
     (o.signature = Macro.Signature.fault_free)
 
@@ -167,14 +169,15 @@ let test_evaluate_sim_failure_is_gross () =
     }
   in
   let good = compile_good () in
-  let golden = toy_measure (toy_build (Process.Variation.nominal tech)) in
+  let nominal = toy_build (Process.Variation.nominal tech) in
+  let golden = toy_measure nominal in
   let fc =
     fault_class
       (Fault.Types.Bridge
          { net_a = "mid"; net_b = "0"; resistance = 1.0; capacitance = None;
            origin = Fault.Types.Short })
   in
-  let o = Macro.Evaluate.evaluate_class ~macro ~good ~golden fc in
+  let o = Macro.Evaluate.evaluate_class ~macro ~nominal ~good ~golden fc in
   Alcotest.(check bool) "flagged" true o.simulation_failed;
   Alcotest.(check bool) "stuck with all currents" true
     (o.signature.Macro.Signature.voltage = Macro.Signature.Output_stuck_at

@@ -321,8 +321,120 @@ let qcheck_props =
         Stats.percentile lo xs <= Stats.percentile hi xs +. 1e-9);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_empty () =
+  Alcotest.(check (list int)) "empty in, empty out" []
+    (Pool.parallel_map ~jobs:4 (fun x -> x + 1) [])
+
+let test_pool_single () =
+  Alcotest.(check (list int)) "single item" [ 43 ]
+    (Pool.parallel_map ~jobs:4 (fun x -> x + 1) [ 42 ])
+
+let test_pool_matches_list_map () =
+  let xs = List.init 257 Fun.id in
+  let f x = (x * x) + 7 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d equals List.map" jobs)
+        (List.map f xs)
+        (Pool.parallel_map ~jobs f xs))
+    [ 1; 2; 4; 13 ]
+
+let test_pool_mapi_order () =
+  let xs = [ "a"; "b"; "c"; "d"; "e" ] in
+  Alcotest.(check (list string)) "indices line up"
+    [ "0a"; "1b"; "2c"; "3d"; "4e" ]
+    (Pool.parallel_mapi ~jobs:3 (fun i s -> string_of_int i ^ s) xs)
+
+let test_pool_exception_propagates () =
+  Alcotest.check_raises "worker failure reaches the caller"
+    (Failure "item 5")
+    (fun () ->
+      ignore
+        (Pool.parallel_map ~jobs:4
+           (fun x -> if x = 5 then failwith "item 5" else x)
+           (List.init 20 Fun.id)))
+
+let test_pool_first_failure_wins () =
+  (* Several items fail; the lowest index must be the one re-raised, for
+     any job count. *)
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "jobs=%d reports lowest index" jobs)
+        (Failure "item 3")
+        (fun () ->
+          ignore
+            (Pool.parallel_map ~jobs
+               (fun x ->
+                 if x >= 3 then failwith (Printf.sprintf "item %d" x) else x)
+               (List.init 16 Fun.id))))
+    [ 1; 4 ]
+
+let test_pool_chunk_ranges () =
+  Alcotest.(check (list (pair int int))) "exact split"
+    [ 0, 4; 4, 4; 8, 4 ]
+    (Pool.chunk_ranges ~n:12 ~chunk_size:4);
+  Alcotest.(check (list (pair int int))) "ragged tail"
+    [ 0, 5; 5, 5; 10, 2 ]
+    (Pool.chunk_ranges ~n:12 ~chunk_size:5);
+  Alcotest.(check (list (pair int int))) "empty" []
+    (Pool.chunk_ranges ~n:0 ~chunk_size:8);
+  Alcotest.check_raises "bad chunk size"
+    (Invalid_argument "Pool.chunk_ranges: chunk_size must be positive")
+    (fun () -> ignore (Pool.chunk_ranges ~n:3 ~chunk_size:0))
+
+let test_pool_parallel_chunks_cover () =
+  let ranges =
+    Pool.parallel_chunks ~jobs:4 ~n:103 ~chunk_size:10
+      (fun ~chunk ~offset ~length -> chunk, offset, length)
+  in
+  let total = List.fold_left (fun acc (_, _, len) -> acc + len) 0 ranges in
+  Alcotest.(check int) "covers n" 103 total;
+  List.iteri
+    (fun i (chunk, offset, _) ->
+      Alcotest.(check int) "chunk order" i chunk;
+      Alcotest.(check int) "contiguous" (i * 10) offset)
+    ranges
+
+let test_pool_nested_stays_sequential () =
+  (* A parallel_map inside a worker must not spawn further domains; it
+     still has to produce correct, ordered results. *)
+  let result =
+    Pool.parallel_map ~jobs:4
+      (fun x -> Pool.parallel_map ~jobs:4 (fun y -> x + y) [ 1; 2; 3 ])
+      [ 10; 20 ]
+  in
+  Alcotest.(check (list (list int))) "nested result"
+    [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ]
+    result
+
+let test_pool_set_jobs_floor () =
+  let before = Pool.jobs () in
+  Pool.set_jobs (-3);
+  let clamped = Pool.jobs () in
+  Pool.set_jobs before;
+  Alcotest.(check int) "clamped to 1" 1 clamped
+
 let suites =
   [
+    ( "util.pool",
+      [
+        Alcotest.test_case "empty input" `Quick test_pool_empty;
+        Alcotest.test_case "single item" `Quick test_pool_single;
+        Alcotest.test_case "matches List.map" `Quick test_pool_matches_list_map;
+        Alcotest.test_case "mapi order" `Quick test_pool_mapi_order;
+        Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+        Alcotest.test_case "first failure wins" `Quick test_pool_first_failure_wins;
+        Alcotest.test_case "chunk ranges" `Quick test_pool_chunk_ranges;
+        Alcotest.test_case "chunks cover" `Quick test_pool_parallel_chunks_cover;
+        Alcotest.test_case "nested sequential" `Quick test_pool_nested_stays_sequential;
+        Alcotest.test_case "set_jobs floor" `Quick test_pool_set_jobs_floor;
+      ] );
     ( "util.prng",
       [
         Alcotest.test_case "determinism" `Quick test_prng_determinism;
