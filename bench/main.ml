@@ -386,7 +386,8 @@ let bechamel_timings () =
 (* Parallel scaling (--timings)                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* One rendering of everything the coverage analysis produced; two runs
+(* One rendering of everything the coverage analysis produced — including
+   the run-health counters, but NOT the stage wall-clock times; two runs
    are equivalent iff these strings are byte-identical. *)
 let coverage_fingerprint (a : Core.Pipeline.macro_analysis) =
   String.concat "\n"
@@ -395,6 +396,7 @@ let coverage_fingerprint (a : Core.Pipeline.macro_analysis) =
       Util.Table.render (Core.Report.table2 a);
       Util.Table.render (Core.Report.table3 a);
       Util.Table.render (Core.Report.figure3 a);
+      Util.Table.render (Core.Report.run_health (Core.Pipeline.run_health [ a ]));
     ]
 
 let parallel_scaling () =
@@ -411,9 +413,37 @@ let parallel_scaling () =
   note "jobs=1: %.2f s    jobs=%d: %.2f s    speedup: %.2fx@." t1 jobs tn
     (t1 /. tn);
   if coverage_fingerprint a1 = coverage_fingerprint an then
-    note "coverage tables: byte-identical across job counts@."
+    note "coverage tables + health counters: byte-identical across job counts@."
   else begin
     note "coverage tables: MISMATCH between jobs=1 and jobs=%d@." jobs;
+    exit 1
+  end;
+  (* Same invariance with the containment paths actually exercised: a
+     degraded run (injected convergence failures) must produce identical
+     health counters and coverage bounds for any job count. *)
+  let degraded_config =
+    {
+      config with
+      Core.Pipeline.defects = 2_000;
+      inject_failures = Some 0.2;
+      max_retries = 2;
+    }
+  in
+  let degraded j =
+    Util.Pool.set_jobs j;
+    let a = Core.Pipeline.analyze degraded_config macro in
+    let g = Core.Global.combine [ a ] in
+    coverage_fingerprint a
+    ^ "\n"
+    ^ Util.Table.render (Core.Report.coverage_bounds g)
+  in
+  let d1 = degraded 1 in
+  let dn = degraded jobs in
+  Util.Pool.set_jobs jobs;
+  if d1 = dn then
+    note "degraded run (20%% injected failures): byte-identical across job counts@."
+  else begin
+    note "degraded run: MISMATCH between jobs=1 and jobs=%d@." jobs;
     exit 1
   end
 
@@ -422,60 +452,47 @@ let parallel_scaling () =
 (* ------------------------------------------------------------------ *)
 
 (* Per-stage wall-clock of the comparator pipeline as one JSON object on
-   stdout: the perf trajectory future PRs compare against (BENCH_*.json). *)
+   stdout: the perf trajectory future PRs compare against (BENCH_*.json).
+   Schema 2 adds the run-health counters of the resilience layer (all
+   zero on a clean run); stage times now come from the pipeline's own
+   instrumentation. *)
 let json_run () =
   let macro = Adc.Comparator.macro Adc.Comparator.default_options in
-  let cell = Lazy.force macro.Macro.Macro_cell.cell in
-  let nominal =
-    macro.Macro.Macro_cell.build
-      (Process.Variation.nominal config.Core.Pipeline.tech)
+  ignore (Lazy.force macro.Macro.Macro_cell.cell);
+  let analysis, total_s =
+    seconds (fun () -> Core.Pipeline.analyze config macro)
   in
-  let prng = Util.Prng.create config.Core.Pipeline.seed in
-  let defect_prng = Util.Prng.split prng in
-  let good_prng = Util.Prng.split prng in
-  let t_start = Unix.gettimeofday () in
-  let defects, sprinkle_s =
-    seconds (fun () ->
-        Defect.Simulate.run ~tech:config.Core.Pipeline.tech
-          ~stats:config.Core.Pipeline.stats ~cell ~netlist:nominal defect_prng
-          ~n:config.Core.Pipeline.defects)
+  let health = analysis.Core.Pipeline.health in
+  let stage name =
+    try List.assoc name health.Core.Pipeline.stage_seconds
+    with Not_found -> 0.0
   in
-  let (cat, ncat), collapse_s =
-    seconds (fun () ->
-        let cat = Fault.Collapse.collapse defects.Defect.Simulate.instances in
-        ( cat,
-          Fault.Collapse.derive_non_catastrophic
-            ~tech:config.Core.Pipeline.tech cat ))
-  in
-  let good, good_space_s =
-    seconds (fun () ->
-        Macro.Good_space.compile ~n:config.Core.Pipeline.good_space_dies
-          ~k:config.Core.Pipeline.sigma ~tech:config.Core.Pipeline.tech macro
-          good_prng)
-  in
-  let (out_cat, out_ncat), evaluate_s =
-    seconds (fun () ->
-        ( Macro.Evaluate.run ~macro ~good cat,
-          Macro.Evaluate.run ~macro ~good ncat ))
-  in
-  let total_s = Unix.gettimeofday () -. t_start in
   let coverage outcomes =
     Testgen.Overlap.coverage
       (Testgen.Overlap.venn_of_partition (Testgen.Overlap.partition outcomes))
   in
   Printf.printf
-    "{\"schema\":\"dotest-bench/1\",\"macro\":\"comparator\",\
+    "{\"schema\":\"dotest-bench/2\",\"macro\":\"comparator\",\
      \"mode\":\"%s\",\"jobs\":%d,\"seed\":%d,\"defects\":%d,\
      \"effective\":%d,\"classes_catastrophic\":%d,\
      \"classes_non_catastrophic\":%d,\
      \"coverage_catastrophic\":%.6f,\"coverage_non_catastrophic\":%.6f,\
+     \"health\":{\"classes\":%d,\"retried\":%d,\"degraded\":%d,\
+     \"unresolved\":%d},\
      \"stages\":{\"sprinkle_s\":%.6f,\"collapse_s\":%.6f,\
      \"good_space_s\":%.6f,\"evaluate_s\":%.6f,\"total_s\":%.6f}}\n"
     (if quick then "quick" else "full")
-    jobs config.Core.Pipeline.seed defects.Defect.Simulate.sprinkled
-    defects.Defect.Simulate.effective (List.length cat) (List.length ncat)
-    (coverage out_cat) (coverage out_ncat) sprinkle_s collapse_s good_space_s
-    evaluate_s total_s
+    jobs config.Core.Pipeline.seed analysis.Core.Pipeline.sprinkled
+    analysis.Core.Pipeline.effective
+    (List.length analysis.Core.Pipeline.classes_catastrophic)
+    (List.length analysis.Core.Pipeline.classes_non_catastrophic)
+    (coverage analysis.Core.Pipeline.outcomes_catastrophic)
+    (coverage analysis.Core.Pipeline.outcomes_non_catastrophic)
+    health.Core.Pipeline.classes health.Core.Pipeline.retried
+    health.Core.Pipeline.degraded health.Core.Pipeline.unresolved
+    (stage "sprinkle") (stage "collapse") (stage "good-space")
+    (stage "evaluate-cat" +. stage "evaluate-ncat")
+    total_s
 
 (* ------------------------------------------------------------------ *)
 

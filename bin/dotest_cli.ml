@@ -9,13 +9,18 @@ let setup_logging verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
-let config_of ~defects ~dies ~sigma ~seed =
+let config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict ~failure_budget
+    ~inject_failures =
   {
     Core.Pipeline.default_config with
     defects;
     good_space_dies = dies;
     sigma;
     seed;
+    max_retries;
+    strict;
+    failure_budget;
+    inject_failures;
   }
 
 (* --- shared options ---------------------------------------------------- *)
@@ -62,58 +67,147 @@ let dft =
     value & flag
     & info [ "dft" ] ~doc:"Apply both DfT measures before the analysis.")
 
+let strict =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Fail fast on the first fault-class simulation that stays \
+           unresolved after every retry, instead of containing it and \
+           reporting bounds.")
+
+let max_retries =
+  Arg.(
+    value
+    & opt int Core.Pipeline.default_config.Core.Pipeline.max_retries
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:
+          "Escalated re-attempts after a convergence failure before a \
+           fault class is recorded as unresolved.")
+
+let failure_budget =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "failure-budget" ] ~docv:"N"
+        ~doc:
+          "Abort the run once more than $(docv) fault classes end \
+           unresolved (default: unlimited).")
+
+let inject_failures =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "inject-failures" ] ~docv:"FRAC"
+        ~doc:
+          "Test hook: deterministically force this fraction of fault-class \
+           simulations to fail convergence, exercising the containment and \
+           retry paths.")
+
 let print_table title table =
   Format.printf "@.== %s ==@.%s@." title (Util.Table.render table)
+
+(* Pool failures arrive wrapped (possibly twice: macro fan-out around the
+   per-class fan-out); report the innermost cause, which carries the
+   failing fault-class index. *)
+let rec root_cause = function
+  | Util.Pool.Worker_failure (_, e) -> root_cause e
+  | e -> e
+
+let handle_failures f =
+  try f ()
+  with
+  | ( Util.Pool.Worker_failure _ | Util.Resilience.Budget_exhausted _
+    | Macro.Evaluate.Simulation_failed _ ) as e ->
+    Format.eprintf "dotest: %s@." (Printexc.to_string (root_cause e));
+    exit 3
+
+let print_health analyses =
+  let health = Core.Pipeline.run_health analyses in
+  print_table "Run health" (Core.Report.run_health health);
+  if Logs.level () = Some Logs.Info then
+    List.iter
+      (fun (m : Core.Pipeline.macro_health) ->
+        List.iter
+          (fun (stage, seconds) ->
+            Logs.info (fun f ->
+                f "[%s] stage %-13s %.3f s" m.macro_name stage seconds))
+          m.stage_seconds)
+      health.per_macro
 
 (* --- commands ----------------------------------------------------------- *)
 
 let comparator_cmd =
-  let run verbose jobs defects dies sigma seed dft =
+  let run verbose jobs defects dies sigma seed dft strict max_retries
+      failure_budget inject_failures =
     setup_logging verbose;
     Util.Pool.set_jobs jobs;
-    let config = config_of ~defects ~dies ~sigma ~seed in
+    let config =
+      config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict
+        ~failure_budget ~inject_failures
+    in
     let options =
       if dft then Adc.Comparator.dft_options else Adc.Comparator.default_options
     in
-    let analysis = Core.Pipeline.analyze config (Adc.Comparator.macro options) in
+    let analysis =
+      handle_failures (fun () ->
+          Core.Pipeline.analyze config (Adc.Comparator.macro options))
+    in
     print_table "Table 1: catastrophic faults and fault classes"
       (Core.Report.table1 analysis);
     print_table "Table 2: voltage fault signatures" (Core.Report.table2 analysis);
     print_table "Table 3: current fault signatures" (Core.Report.table3 analysis);
     print_table "Fig. 3: detectability of catastrophic faults"
-      (Core.Report.figure3 analysis)
+      (Core.Report.figure3 analysis);
+    print_health [ analysis ]
   in
   Cmd.v
     (Cmd.info "comparator"
        ~doc:"Run the defect-oriented test path for the comparator macro.")
-    Term.(const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ dft)
+    Term.(
+      const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ dft $ strict
+      $ max_retries $ failure_budget $ inject_failures)
 
 let global_cmd =
-  let run verbose jobs defects dies sigma seed dft =
+  let run verbose jobs defects dies sigma seed dft strict max_retries
+      failure_budget inject_failures =
     setup_logging verbose;
     Util.Pool.set_jobs jobs;
-    let config = config_of ~defects ~dies ~sigma ~seed in
+    let config =
+      config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict
+        ~failure_budget ~inject_failures
+    in
     let measures = if dft then Dft.Measures.all_measures else [] in
     let macros = Dft.Measures.macro_set ~measures in
-    let analyses = Core.Pipeline.analyze_all config macros in
+    let analyses =
+      handle_failures (fun () -> Core.Pipeline.analyze_all config macros)
+    in
     let g = Core.Global.combine analyses in
     print_table
       (if dft then "Fig. 5: global detectability after DfT"
        else "Fig. 4: global detectability")
       (Core.Report.figure4 g);
     print_table "Per-macro current detectability" (Core.Report.macro_current g);
-    print_table "Summary" (Core.Report.summary g)
+    print_table "Summary" (Core.Report.summary g);
+    print_health analyses;
+    print_table "Coverage bounds" (Core.Report.coverage_bounds g)
   in
   Cmd.v
     (Cmd.info "global"
        ~doc:"Run all five macros and the global scaling step.")
-    Term.(const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ dft)
+    Term.(
+      const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ dft $ strict
+      $ max_retries $ failure_budget $ inject_failures)
 
 let dft_cmd =
   let run verbose jobs defects dies sigma seed =
     setup_logging verbose;
     Util.Pool.set_jobs jobs;
-    let config = config_of ~defects ~dies ~sigma ~seed in
+    let config =
+      config_of ~defects ~dies ~sigma ~seed
+        ~max_retries:Core.Pipeline.default_config.Core.Pipeline.max_retries
+        ~strict:false ~failure_budget:None ~inject_failures:None
+    in
     let original, improved = Dft.Measures.compare_coverage ~config () in
     print_table "Fig. 4: before DfT" (Core.Report.figure4 original);
     print_table "Fig. 5: after DfT" (Core.Report.figure4 improved);

@@ -19,6 +19,70 @@ let default_options =
     max_step_voltage = 0.5;
   }
 
+(* --- escalation ladder ------------------------------------------------ *)
+
+let escalation_levels = 3
+
+let escalation base ~level =
+  let level = max 0 (min level escalation_levels) in
+  if level = 0 then base
+  else
+    let pow10 n = 10.0 ** float_of_int n in
+    {
+      base with
+      reltol = base.reltol *. pow10 level;
+      gmin = (if level >= 2 then base.gmin *. pow10 (2 * (level - 1)) else base.gmin);
+      vntol = (if level >= 3 then base.vntol *. 10.0 else base.vntol);
+      abstol = (if level >= 3 then base.abstol *. 10.0 else base.abstol);
+      max_iterations = base.max_iterations * (1 lsl level);
+    }
+
+(* --- scoped options override ------------------------------------------ *)
+
+(* Macro measurement procedures call the analyses without an explicit
+   ~options argument; the retry layer escalates them from the outside by
+   installing an override for the dynamic extent of one attempt. The key
+   is domain-local, so concurrent pool workers cannot see each other's
+   escalation state. *)
+let options_override : options option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let resolve_options = function
+  | Some options -> options
+  | None ->
+    (match Domain.DLS.get options_override with
+    | Some options -> options
+    | None -> default_options)
+
+let with_options_override options f =
+  let saved = Domain.DLS.get options_override in
+  Domain.DLS.set options_override (Some options);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set options_override saved) f
+
+(* --- convergence diagnostics ------------------------------------------ *)
+
+type fallback = Plain_newton | Gmin_stepping | Source_stepping
+
+let fallback_name = function
+  | Plain_newton -> "plain Newton"
+  | Gmin_stepping -> "gmin stepping"
+  | Source_stepping -> "source stepping"
+
+let fallback_rank = function
+  | Plain_newton -> 0
+  | Gmin_stepping -> 1
+  | Source_stepping -> 2
+
+type diagnostics = { iterations : int; fallback : fallback }
+
+let no_diagnostics = { iterations = 0; fallback = Plain_newton }
+
+let merge_diagnostics a b =
+  {
+    iterations = a.iterations + b.iterations;
+    fallback = (if fallback_rank a.fallback >= fallback_rank b.fallback then a.fallback else b.fallback);
+  }
+
 (* --- compiled netlist ------------------------------------------------ *)
 
 type cdevice =
@@ -177,7 +241,7 @@ let newton ~options ~mode ~alpha ~t compiled x0 =
       build ~options ~mode ~alpha ~t compiled x a rhs;
       match Linear.solve a rhs with
       | exception Linear.Singular -> None
-      | x_new ->
+      | x_new -> begin
         (* Damp voltage updates; branch currents move freely. *)
         let converged = ref true in
         for i = 0 to n - 1 do
@@ -198,58 +262,87 @@ let newton ~options ~mode ~alpha ~t compiled x0 =
           if Float.abs (applied -. x.(i)) > tol then converged := false;
           x.(i) <- applied
         done;
-        if !converged then Some x else iterate (remaining - 1)
+        if !converged then Some (x, options.max_iterations - remaining + 1)
+        else iterate (remaining - 1)
+      end
     end
   in
   iterate options.max_iterations
 
-let solve_point ~options ~mode ~t compiled x0 ~what =
-  match newton ~options ~mode ~alpha:1.0 ~t compiled x0 with
-  | Some x -> x
+(* Solve one point, recording how many Newton iterations were spent and
+   which convergence aid finally succeeded. *)
+let solve_point_diag ~options ~mode ~t compiled x0 ~what =
+  let spent = ref 0 in
+  let try_newton ~options ~alpha x =
+    match newton ~options ~mode ~alpha ~t compiled x with
+    | Some (x', used) ->
+      spent := !spent + used;
+      Some x'
+    | None ->
+      spent := !spent + options.max_iterations;
+      None
+  in
+  match try_newton ~options ~alpha:1.0 x0 with
+  | Some x -> x, { iterations = !spent; fallback = Plain_newton }
   | None ->
     (* gmin stepping: solve heavily shunted, then relax toward gmin. *)
     let rec gmin_steps x = function
       | [] -> Some x
       | g :: rest ->
-        (match newton ~options:{ options with gmin = g } ~mode ~alpha:1.0 ~t compiled x with
+        (match try_newton ~options:{ options with gmin = g } ~alpha:1.0 x with
         | Some x' -> gmin_steps x' rest
         | None -> None)
     in
     let schedule = [ 1e-2; 1e-4; 1e-6; 1e-8; 1e-10; options.gmin ] in
     (match gmin_steps x0 schedule with
-    | Some x -> x
+    | Some x -> x, { iterations = !spent; fallback = Gmin_stepping }
     | None ->
       (* Source stepping: ramp all sources from 10 % to 100 %. *)
       let rec source_steps x = function
         | [] -> Some x
         | alpha :: rest ->
-          (match newton ~options ~mode ~alpha ~t compiled x with
+          (match try_newton ~options ~alpha x with
           | Some x' -> source_steps x' rest
           | None -> None)
       in
       let alphas = [ 0.1; 0.3; 0.5; 0.7; 0.9; 1.0 ] in
       (match source_steps (Array.make compiled.n_unknowns 0.0) alphas with
-      | Some x -> x
+      | Some x -> x, { iterations = !spent; fallback = Source_stepping }
       | None -> raise (No_convergence what)))
+
+let solve_point ~options ~mode ~t compiled x0 ~what =
+  fst (solve_point_diag ~options ~mode ~t compiled x0 ~what)
 
 (* --- public analyses --------------------------------------------------- *)
 
 let make_solution compiled ~t x =
   { sol_time = t; x; branches = compiled.branch_of_source }
 
-let dc_operating_point ?(options = default_options) netlist =
+let dc_operating_point_diag ?options netlist =
+  let options = resolve_options options in
   let compiled = compile netlist in
   let x0 = Array.make compiled.n_unknowns 0.0 in
-  let x = solve_point ~options ~mode:Dc_mode ~t:0.0 compiled x0 ~what:"dc operating point" in
-  make_solution compiled ~t:0.0 x
-
-let transient ?(options = default_options) netlist ~stop ~step =
-  if step <= 0. || stop < step then invalid_arg "Engine.transient: bad time grid";
-  let compiled = compile netlist in
-  let x0 = Array.make compiled.n_unknowns 0.0 in
-  let x_dc =
-    solve_point ~options ~mode:Dc_mode ~t:0.0 compiled x0 ~what:"transient initial point"
+  let x, diag =
+    solve_point_diag ~options ~mode:Dc_mode ~t:0.0 compiled x0
+      ~what:"dc operating point"
   in
+  make_solution compiled ~t:0.0 x, diag
+
+let dc_operating_point ?options netlist =
+  fst (dc_operating_point_diag ?options netlist)
+
+let transient_diag ?options netlist ~stop ~step =
+  if step <= 0. || stop < step then invalid_arg "Engine.transient: bad time grid";
+  let options = resolve_options options in
+  let compiled = compile netlist in
+  let diag = ref no_diagnostics in
+  let solve ~mode ~t x ~what =
+    let x', d = solve_point_diag ~options ~mode ~t compiled x ~what in
+    diag := merge_diagnostics !diag d;
+    x'
+  in
+  let x0 = Array.make compiled.n_unknowns 0.0 in
+  let x_dc = solve ~mode:Dc_mode ~t:0.0 x0 ~what:"transient initial point" in
   let n_steps = int_of_float (Float.round (stop /. step)) in
   (* A failed Newton solve at a full step (sharp clock edge, regenerative
      transition) is retried over recursively halved sub-steps; only when
@@ -258,8 +351,7 @@ let transient ?(options = default_options) netlist ~stop ~step =
     let t = t_prev +. h in
     let mode = Transient_mode { h; x_prev } in
     match
-      solve_point ~options ~mode ~t compiled x_prev
-        ~what:(Printf.sprintf "transient step at t=%.3e" t)
+      solve ~mode ~t x_prev ~what:(Printf.sprintf "transient step at t=%.3e" t)
     with
     | x -> x
     | exception No_convergence _ when depth > 0 ->
@@ -276,9 +368,13 @@ let transient ?(options = default_options) netlist ~stop ~step =
       advance (i + 1) x (make_solution compiled ~t x :: acc)
     end
   in
-  advance 1 x_dc [ make_solution compiled ~t:0.0 x_dc ]
+  advance 1 x_dc [ make_solution compiled ~t:0.0 x_dc ], !diag
 
-let dc_sweep ?(options = default_options) netlist ~source ~values =
+let transient ?options netlist ~stop ~step =
+  fst (transient_diag ?options netlist ~stop ~step)
+
+let dc_sweep ?options netlist ~source ~values =
+  let options = resolve_options options in
   let netlist = Netlist.copy netlist in
   if not (Netlist.has_device netlist source) then
     invalid_arg (Printf.sprintf "Engine.dc_sweep: no source %S" source);
@@ -348,7 +444,8 @@ let decades ~lo ~hi ~per_decade =
   in
   build [] (log10 lo)
 
-let ac_sweep ?(options = default_options) netlist ~source ~frequencies =
+let ac_sweep ?options netlist ~source ~frequencies =
+  let options = resolve_options options in
   List.iter
     (fun f ->
       if f <= 0. then invalid_arg "Engine.ac_sweep: frequencies must be positive")

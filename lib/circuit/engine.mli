@@ -19,6 +19,54 @@ type options = {
 
 val default_options : options
 
+(** {1 Escalation ladder}
+
+    When a simulation fails to converge even through the gmin/source
+    stepping aids, the resilience layer retries it with progressively
+    looser options. The ladder is documented and deterministic; level 0
+    is the base options and each higher level loosens further:
+
+    - level 1: [reltol] ×10, [max_iterations] ×2
+    - level 2: [reltol] ×100, [gmin] ×100, [max_iterations] ×4
+    - level 3: [reltol] ×1000, [gmin] ×10⁴, [vntol] ×10, [abstol] ×10,
+      [max_iterations] ×8
+
+    Results obtained at an escalated level are degraded (looser
+    tolerances); callers should record that they retried. *)
+
+(** Highest meaningful escalation level (levels above clamp to it). *)
+val escalation_levels : int
+
+(** [escalation base ~level] is the ladder rung [level] applied to
+    [base]; [level <= 0] returns [base] unchanged. *)
+val escalation : options -> level:int -> options
+
+(** [with_options_override options f] makes every analysis call inside
+    [f] that does not pass an explicit [?options] use [options] instead
+    of {!default_options}. The override is scoped to the current domain
+    and dynamic extent of [f] (it nests and is exception-safe), so the
+    retry layer can escalate a macro's measurement procedure without
+    threading options through it. *)
+val with_options_override : options -> (unit -> 'a) -> 'a
+
+(** {1 Convergence diagnostics} *)
+
+(** Which convergence aid produced the solution. *)
+type fallback =
+  | Plain_newton      (** converged without any aid *)
+  | Gmin_stepping     (** needed the gmin relaxation schedule *)
+  | Source_stepping   (** needed the source ramp (last resort) *)
+
+val fallback_name : fallback -> string
+
+type diagnostics = {
+  iterations : int;
+      (** Newton iterations spent, summed over every solved point
+          (failed attempts count their full iteration budget) *)
+  fallback : fallback;
+      (** the most escalated aid that was needed at any point *)
+}
+
 (** One solved time point. *)
 type solution
 
@@ -37,11 +85,21 @@ val source_current : solution -> string -> float
     @raise No_convergence when all fallbacks fail. *)
 val dc_operating_point : ?options:options -> Netlist.t -> solution
 
+(** Like {!dc_operating_point}, also reporting how hard the solve was. *)
+val dc_operating_point_diag :
+  ?options:options -> Netlist.t -> solution * diagnostics
+
 (** [transient ?options netlist ~stop ~step] integrates from 0 to [stop]
     with fixed step [step] (backward Euler), returning the DC point at
     [t = 0] followed by every accepted step in time order. *)
 val transient :
   ?options:options -> Netlist.t -> stop:float -> step:float -> solution list
+
+(** Like {!transient}, also reporting aggregate diagnostics over every
+    solved point (including halved sub-steps). *)
+val transient_diag :
+  ?options:options ->
+  Netlist.t -> stop:float -> step:float -> solution list * diagnostics
 
 (** [dc_sweep ?options netlist ~source ~values] re-solves the operating
     point for each value of the named voltage source (in order), seeding

@@ -193,6 +193,8 @@ let parse text =
         let tokens = tokenize card in
         (match tokens with
         | [] -> Ok ()
+        | name :: _ when Netlist.has_device nl name ->
+          error ~line "duplicate device %S" name
         | name :: rest ->
           let add_two_terminal build =
             match rest with

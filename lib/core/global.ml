@@ -26,12 +26,16 @@ let weight t name =
   | None -> invalid_arg (Printf.sprintf "Global.weight: unknown macro %S" name)
 
 (* Merge the per-macro partitions, each rescaled by its area weight. A
-   macro with no simulated faults contributes nothing. *)
-let partition t severity =
+   macro with no simulated faults contributes nothing. [remap] lets the
+   bounds computation reinterpret unresolved outcomes before
+   partitioning. *)
+let partition_with remap t severity =
   let table = Hashtbl.create 16 in
   List.iter
     (fun ((a : Pipeline.macro_analysis), w) ->
-      let cells = Testgen.Overlap.partition (Pipeline.outcomes a severity) in
+      let cells =
+        Testgen.Overlap.partition (List.map remap (Pipeline.outcomes a severity))
+      in
       List.iter
         (fun (c : Testgen.Overlap.cell) ->
           let existing =
@@ -51,9 +55,29 @@ let partition t severity =
     table []
   |> List.sort (fun (a : Testgen.Overlap.cell) b -> compare b.share a.share)
 
+let partition t severity = partition_with Fun.id t severity
+
 let venn t severity = Testgen.Overlap.venn_of_partition (partition t severity)
 
 let coverage t severity = Testgen.Overlap.coverage (venn t severity)
+
+(* An unresolved class carries the optimistic gross-defect signature
+   (detected by everything); the pessimistic bound instead treats it as
+   undetected by anything, i.e. remaps its signature to fault-free. The
+   truth lies between the two. *)
+let pessimistic_remap (o : Macro.Evaluate.outcome) =
+  if Macro.Evaluate.simulation_failed o then
+    { o with Macro.Evaluate.signature = Macro.Signature.fault_free }
+  else o
+
+let coverage_bounds t severity =
+  let pessimistic =
+    Testgen.Overlap.coverage
+      (Testgen.Overlap.venn_of_partition
+         (partition_with pessimistic_remap t severity))
+  in
+  let optimistic = coverage t severity in
+  Float.min pessimistic optimistic, Float.max pessimistic optimistic
 
 let current_detectability t =
   List.map

@@ -22,8 +22,17 @@ val partition : t -> Fault.Types.severity -> Testgen.Overlap.cell list
 (** The global voltage/current Venn (Fig. 4 / Fig. 5). *)
 val venn : t -> Fault.Types.severity -> Testgen.Overlap.venn
 
-(** Global fault coverage for one severity. *)
+(** Global fault coverage for one severity. Unresolved fault classes
+    (see {!Macro.Evaluate.status}) keep their optimistic gross-defect
+    signature here, matching the seed pipeline's tables. *)
 val coverage : t -> Fault.Types.severity -> float
+
+(** [coverage_bounds t severity] is [(pessimistic, optimistic)]: the
+    pessimistic bound recomputes coverage with every unresolved class
+    remapped to the fault-free signature (undetected by any mechanism),
+    the optimistic bound is {!coverage}. On a clean run (no unresolved
+    classes) both equal {!coverage}. *)
+val coverage_bounds : t -> Fault.Types.severity -> float * float
 
 (** [current_detectability t] — per macro, the share of its catastrophic
     faults detected by current measurements (the §3.3 per-macro claims:

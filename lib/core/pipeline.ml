@@ -5,6 +5,10 @@ type config = {
   good_space_dies : int;
   sigma : float;
   seed : int;
+  max_retries : int;
+  strict : bool;
+  failure_budget : int option;
+  inject_failures : float option;
 }
 
 let default_config =
@@ -15,7 +19,28 @@ let default_config =
     good_space_dies = 48;
     sigma = 3.0;
     seed = 1995;
+    max_retries = 1;
+    strict = false;
+    failure_budget = None;
+    inject_failures = None;
   }
+
+type macro_health = {
+  macro_name : string;
+  classes : int;
+  retried : int;
+  degraded : int;
+  unresolved : int;
+  stage_seconds : (string * float) list;
+}
+
+type run_health = {
+  per_macro : macro_health list;
+  total_classes : int;
+  total_retried : int;
+  total_degraded : int;
+  total_unresolved : int;
+}
 
 type macro_analysis = {
   macro : Macro.Macro_cell.t;
@@ -26,13 +51,71 @@ type macro_analysis = {
   classes_non_catastrophic : Fault.Collapse.fault_class list;
   outcomes_catastrophic : Macro.Evaluate.outcome list;
   outcomes_non_catastrophic : Macro.Evaluate.outcome list;
+  health : macro_health;
 }
 
 let src = Logs.Src.create "dotest.core" ~doc:"methodology pipeline"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Health counters are derived from the merged, input-ordered outcome
+   lists, never from worker-local state — that is what makes them
+   byte-identical across job counts (stage wall-clock, by nature, is
+   not). *)
+let count_outcomes outcomes (retried, degraded, unresolved) =
+  List.fold_left
+    (fun (r, d, u) (o : Macro.Evaluate.outcome) ->
+      match o.Macro.Evaluate.status with
+      | Macro.Evaluate.Converged -> r, d, u
+      | Macro.Evaluate.Recovered _ -> r + 1, d + 1, u
+      | Macro.Evaluate.Unresolved { attempts; _ } ->
+        (if attempts > 1 then r + 1 else r), d, u + 1)
+    (retried, degraded, unresolved)
+    outcomes
+
+let health_of ~macro_name ~outcomes ~stage_seconds =
+  let retried, degraded, unresolved =
+    List.fold_left (fun acc o -> count_outcomes o acc) (0, 0, 0) outcomes
+  in
+  {
+    macro_name;
+    classes = List.fold_left (fun acc o -> acc + List.length o) 0 outcomes;
+    retried;
+    degraded;
+    unresolved;
+    stage_seconds;
+  }
+
+let run_health analyses =
+  let per_macro = List.map (fun a -> a.health) analyses in
+  let sum f = List.fold_left (fun acc h -> acc + f h) 0 per_macro in
+  {
+    per_macro;
+    total_classes = sum (fun h -> h.classes);
+    total_retried = sum (fun h -> h.retried);
+    total_degraded = sum (fun h -> h.degraded);
+    total_unresolved = sum (fun h -> h.unresolved);
+  }
+
+let check_budget config ~unresolved =
+  match config.failure_budget with
+  | Some limit when unresolved > limit ->
+    raise (Util.Resilience.Budget_exhausted { failures = unresolved; limit })
+  | Some _ | None -> ()
+
+let injection_of config =
+  Option.map
+    (fun fraction -> { Macro.Evaluate.seed = config.seed; fraction })
+    config.inject_failures
+
 let analyze config (macro : Macro.Macro_cell.t) =
+  let stage_seconds = ref [] in
+  let timed stage f =
+    let t0 = Unix.gettimeofday () in
+    let result = f () in
+    stage_seconds := (stage, Unix.gettimeofday () -. t0) :: !stage_seconds;
+    result
+  in
   let prng = Util.Prng.create config.seed in
   let defect_prng = Util.Prng.split prng in
   let good_prng = Util.Prng.split prng in
@@ -42,15 +125,16 @@ let analyze config (macro : Macro.Macro_cell.t) =
   in
   Log.info (fun m -> m "[%s] sprinkling %d defects" macro.Macro.Macro_cell.name config.defects);
   let defect_result =
-    Defect.Simulate.run ~tech:config.tech ~stats:config.stats ~cell
-      ~netlist:nominal_netlist defect_prng ~n:config.defects
+    timed "sprinkle" (fun () ->
+        Defect.Simulate.run ~tech:config.tech ~stats:config.stats ~cell
+          ~netlist:nominal_netlist defect_prng ~n:config.defects)
   in
-  let classes_catastrophic =
-    Fault.Collapse.collapse defect_result.Defect.Simulate.instances
-  in
-  let classes_non_catastrophic =
-    Fault.Collapse.derive_non_catastrophic ~tech:config.tech
-      classes_catastrophic
+  let classes_catastrophic, classes_non_catastrophic =
+    timed "collapse" (fun () ->
+        let cat =
+          Fault.Collapse.collapse defect_result.Defect.Simulate.instances
+        in
+        cat, Fault.Collapse.derive_non_catastrophic ~tech:config.tech cat)
   in
   Log.info (fun m ->
       m "[%s] %d effective defects, %d + %d fault classes"
@@ -58,15 +142,32 @@ let analyze config (macro : Macro.Macro_cell.t) =
         (List.length classes_catastrophic)
         (List.length classes_non_catastrophic));
   let good =
-    Macro.Good_space.compile ~n:config.good_space_dies ~k:config.sigma
-      ~tech:config.tech macro good_prng
+    timed "good-space" (fun () ->
+        Macro.Good_space.compile ~n:config.good_space_dies ~k:config.sigma
+          ~tech:config.tech macro good_prng)
+  in
+  let inject = injection_of config in
+  let evaluate classes =
+    Macro.Evaluate.run ~retries:config.max_retries ?inject
+      ~strict:config.strict ~macro ~good classes
   in
   let outcomes_catastrophic =
-    Macro.Evaluate.run ~macro ~good classes_catastrophic
+    timed "evaluate-cat" (fun () -> evaluate classes_catastrophic)
   in
   let outcomes_non_catastrophic =
-    Macro.Evaluate.run ~macro ~good classes_non_catastrophic
+    timed "evaluate-ncat" (fun () -> evaluate classes_non_catastrophic)
   in
+  let health =
+    health_of ~macro_name:macro.Macro.Macro_cell.name
+      ~outcomes:[ outcomes_catastrophic; outcomes_non_catastrophic ]
+      ~stage_seconds:(List.rev !stage_seconds)
+  in
+  (if health.unresolved > 0 then
+     Log.info (fun m ->
+         m "[%s] degraded run: %d retried, %d recovered, %d unresolved"
+           macro.Macro.Macro_cell.name health.retried health.degraded
+           health.unresolved));
+  check_budget config ~unresolved:health.unresolved;
   {
     macro;
     sprinkled = defect_result.Defect.Simulate.sprinkled;
@@ -76,6 +177,7 @@ let analyze config (macro : Macro.Macro_cell.t) =
     classes_non_catastrophic;
     outcomes_catastrophic;
     outcomes_non_catastrophic;
+    health;
   }
 
 let analyze_all config macros =
@@ -86,7 +188,13 @@ let analyze_all config macros =
     macros;
   (* The per-macro stages degrade to sequential inside pool workers, so
      this spawns at most [Util.Pool.jobs ()] domains in total. *)
-  Util.Pool.parallel_map (analyze config) macros
+  let analyses = Util.Pool.parallel_map (analyze config) macros in
+  (* The per-run failure budget spans all macros; the check runs on the
+     merged results so it is independent of the job count. *)
+  check_budget config
+    ~unresolved:
+      (List.fold_left (fun acc a -> acc + a.health.unresolved) 0 analyses);
+  analyses
 
 let outcomes analysis = function
   | Fault.Types.Catastrophic -> analysis.outcomes_catastrophic

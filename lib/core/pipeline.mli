@@ -3,7 +3,13 @@
     defect statistics + layout → defect simulation → fault collapsing →
     (non-catastrophic derivation) → circuit-level fault simulation →
     macro-level fault signatures. The caller chains {!Global} for the
-    circuit-level scaling step. *)
+    circuit-level scaling step.
+
+    The fault-simulation stage is contained (see {!Macro.Evaluate}):
+    convergence failures are retried along the engine's escalation ladder
+    and, if still failing, recorded as unresolved instead of aborting the
+    run. Per-macro health counters roll up into a {!run_health} record
+    whose counters are byte-identical across {!Util.Pool} job counts. *)
 
 type config = {
   tech : Process.Tech.t;
@@ -12,9 +18,45 @@ type config = {
   good_space_dies : int;  (** Monte-Carlo dies for the good space *)
   sigma : float;        (** acceptance window width, in σ *)
   seed : int;
+  max_retries : int;
+      (** escalated re-attempts after a convergence failure (default 1) *)
+  strict : bool;
+      (** fail fast on the first unresolved class instead of containing it
+          (default [false]) *)
+  failure_budget : int option;
+      (** abort the run once more than this many classes end unresolved;
+          checked on merged, ordered results so the outcome is identical
+          for any job count (default [None] = unlimited) *)
+  inject_failures : float option;
+      (** test hook: force this fraction of fault-class simulations to
+          raise [No_convergence] deterministically (default [None]) *)
 }
 
 val default_config : config
+
+(** Containment counters for one macro, plus stage wall-clock times.
+    All counters are functions of the merged outcome lists only;
+    [stage_seconds] is wall-clock and naturally varies between runs, so
+    it must be excluded from any determinism comparison. *)
+type macro_health = {
+  macro_name : string;
+  classes : int;      (** fault classes simulated (both severities) *)
+  retried : int;      (** classes that needed more than one attempt *)
+  degraded : int;     (** classes that recovered on an escalated retry *)
+  unresolved : int;   (** classes whose every attempt failed *)
+  stage_seconds : (string * float) list;
+      (** per-stage wall-clock: sprinkle, collapse, good-space,
+          evaluate-cat, evaluate-ncat *)
+}
+
+(** {!macro_health} aggregated over a whole run. *)
+type run_health = {
+  per_macro : macro_health list;
+  total_classes : int;
+  total_retried : int;
+  total_degraded : int;
+  total_unresolved : int;
+}
 
 type macro_analysis = {
   macro : Macro.Macro_cell.t;
@@ -25,19 +67,32 @@ type macro_analysis = {
   classes_non_catastrophic : Fault.Collapse.fault_class list;
   outcomes_catastrophic : Macro.Evaluate.outcome list;
   outcomes_non_catastrophic : Macro.Evaluate.outcome list;
+  health : macro_health;
 }
+
+(** [run_health analyses] rolls the per-macro health records up into run
+    totals (macros in list order). *)
+val run_health : macro_analysis list -> run_health
 
 (** [analyze config macro] runs the whole per-macro path. Deterministic
     for a given [config.seed] regardless of the {!Util.Pool} job count:
     the defect draws are chunked with per-chunk PRNG streams and all
-    parallel stages merge in input order. *)
+    parallel stages merge in input order.
+
+    @raise Util.Resilience.Budget_exhausted when the macro alone exceeds
+    [config.failure_budget].
+    @raise Util.Pool.Worker_failure wrapping
+    [Macro.Evaluate.Simulation_failed] when [config.strict] and a class
+    is unresolved. *)
 val analyze : config -> Macro.Macro_cell.t -> macro_analysis
 
 (** [analyze_all config macros] analyses independent macros concurrently
     on the {!Util.Pool} (their layouts are forced up front; the stages
     inside each macro then run sequentially, so the pool is never
     oversubscribed). Same results, in the same order, as
-    [List.map (analyze config) macros]. *)
+    [List.map (analyze config) macros]. The failure budget is re-checked
+    against the sum of unresolved classes across all macros, after the
+    ordered merge. *)
 val analyze_all : config -> Macro.Macro_cell.t list -> macro_analysis list
 
 (** All outcomes of one severity. *)

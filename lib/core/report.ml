@@ -156,6 +156,62 @@ let macro_current (g : Global.t) =
     (Global.current_detectability g);
   t
 
+let run_health (h : Pipeline.run_health) =
+  let t =
+    Util.Table.create
+      ~columns:
+        [
+          "macro", Util.Table.Left;
+          "classes", Util.Table.Right;
+          "retried", Util.Table.Right;
+          "degraded", Util.Table.Right;
+          "unresolved", Util.Table.Right;
+        ]
+  in
+  let row name classes retried degraded unresolved =
+    Util.Table.add_row t
+      [
+        name;
+        string_of_int classes;
+        string_of_int retried;
+        string_of_int degraded;
+        string_of_int unresolved;
+      ]
+  in
+  List.iter
+    (fun (m : Pipeline.macro_health) ->
+      row m.macro_name m.classes m.retried m.degraded m.unresolved)
+    h.Pipeline.per_macro;
+  Util.Table.add_separator t;
+  row "total" h.Pipeline.total_classes h.Pipeline.total_retried
+    h.Pipeline.total_degraded h.Pipeline.total_unresolved;
+  t
+
+let coverage_bounds (g : Global.t) =
+  let t =
+    Util.Table.create
+      ~columns:
+        [
+          "fault set", Util.Table.Left;
+          "pessimistic", Util.Table.Right;
+          "coverage", Util.Table.Right;
+          "optimistic", Util.Table.Right;
+        ]
+  in
+  let row label severity =
+    let pess, opt = Global.coverage_bounds g severity in
+    Util.Table.add_row t
+      [
+        label;
+        pct (100. *. pess);
+        pct (100. *. Global.coverage g severity);
+        pct (100. *. opt);
+      ]
+  in
+  row "catastrophic" Fault.Types.Catastrophic;
+  row "non-catastrophic" Fault.Types.Non_catastrophic;
+  t
+
 let summary (g : Global.t) =
   let t =
     Util.Table.create

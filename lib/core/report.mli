@@ -27,3 +27,12 @@ val macro_current : Global.t -> Util.Table.t
 
 (** Headline summary: coverages, only-IDDQ share, test time. *)
 val summary : Global.t -> Util.Table.t
+
+(** Run health: per-macro containment counters plus a totals row. Stage
+    timings are deliberately excluded, so the rendered table is
+    byte-identical across job counts. *)
+val run_health : Pipeline.run_health -> Util.Table.t
+
+(** Pessimistic / as-reported / optimistic coverage per severity (see
+    {!Global.coverage_bounds}). On a clean run all three columns agree. *)
+val coverage_bounds : Global.t -> Util.Table.t

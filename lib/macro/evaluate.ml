@@ -1,43 +1,132 @@
+type status =
+  | Converged
+  | Recovered of { attempts : int }
+  | Unresolved of { attempts : int; error : string }
+
 type outcome = {
   fault_class : Fault.Collapse.fault_class;
   signature : Signature.t;
-  simulation_failed : bool;
+  status : status;
 }
+
+let simulation_failed o =
+  match o.status with Unresolved _ -> true | Converged | Recovered _ -> false
+
+exception Simulation_failed of { index : int; attempts : int; error : string }
+
+let () =
+  Printexc.register_printer (function
+    | Simulation_failed { index; attempts; error } ->
+      Some
+        (Printf.sprintf
+           "Evaluate.Simulation_failed: fault class %d unresolved after %d \
+            attempts (%s)"
+           index attempts error)
+    | _ -> None)
+
+type injection = { seed : int; fraction : float }
+
+(* The decision is a pure function of (seed, class index, attempt):
+   identical for any job count or evaluation order. Half of the injected
+   fraction fails persistently (every attempt, ending Unresolved), the
+   other half only on the first attempt (recovering on retry), so both
+   containment paths are exercised. *)
+let injection_hits { seed; fraction } ~index ~attempt =
+  let fraction = Float.max 0.0 (Float.min 1.0 fraction) in
+  let prng = Util.Prng.create ((seed * 1_000_003) + index) in
+  let u = Util.Prng.float prng 1.0 in
+  if u < fraction /. 2.0 then true
+  else if u < fraction then attempt = 0
+  else false
+
+let default_retries = 1
 
 let src = Logs.Src.create "dotest.macro" ~doc:"macro fault simulation"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-let evaluate_class ~(macro : Macro_cell.t) ~nominal ~good ~golden fc =
+(* A simulation that fails even at the top of the escalation ladder is a
+   gross defect; its optimistic reading — the one the seed pipeline used
+   unconditionally — is "stuck with every current deviating", i.e.
+   detected by everything. Global coverage reports bound the truth from
+   both sides (see Core.Global.coverage_bounds). *)
+let gross_signature =
+  { Signature.voltage = Signature.Output_stuck_at;
+    currents = Signature.all_current }
+
+let evaluate_class ?(retries = default_retries) ?inject ?(index = 0)
+    ~(macro : Macro_cell.t) ~nominal ~good ~golden fc =
   let faulty_netlist =
     Fault.Inject.inject_instance nominal fc.Fault.Collapse.representative
   in
-  match macro.Macro_cell.measure faulty_netlist with
-  | vector ->
+  let classify = function
+    | Circuit.Engine.No_convergence _ -> Util.Resilience.Retryable
+    | _ -> Util.Resilience.Fatal
+  in
+  let measure ~attempt =
+    (match inject with
+    | Some inj when injection_hits inj ~index ~attempt ->
+      raise (Circuit.Engine.No_convergence "injected failure (test hook)")
+    | Some _ | None -> ());
+    if attempt = 0 then macro.Macro_cell.measure faulty_netlist
+    else
+      (* Walk the documented escalation ladder: each retry loosens the
+         solver options one more level. *)
+      Circuit.Engine.with_options_override
+        (Circuit.Engine.escalation Circuit.Engine.default_options
+           ~level:attempt)
+        (fun () -> macro.Macro_cell.measure faulty_netlist)
+  in
+  match
+    Util.Resilience.run ~classify ~attempts:(1 + max 0 retries) measure
+  with
+  | Util.Resilience.Resolved { value = vector; attempts } ->
     let voltage = macro.Macro_cell.classify_voltage ~golden ~faulty:vector in
     let currents = Good_space.deviating_currents good vector in
-    { fault_class = fc; signature = { Signature.voltage; currents };
-      simulation_failed = false }
-  | exception Circuit.Engine.No_convergence what ->
+    let status =
+      if attempts = 1 then Converged
+      else begin
+        Log.debug (fun m ->
+            m "fault %a: recovered on attempt %d (escalated options)"
+              Fault.Types.pp_fault fc.representative.Fault.Types.fault attempts);
+        Recovered { attempts }
+      end
+    in
+    { fault_class = fc; signature = { Signature.voltage; currents }; status }
+  | Util.Resilience.Exhausted { error; attempts } ->
+    let what =
+      match error with
+      | Circuit.Engine.No_convergence what -> what
+      | e -> Printexc.to_string e
+    in
     Log.debug (fun m ->
-        m "fault %a: no convergence (%s) — gross defect"
-          Fault.Types.pp_fault fc.representative.Fault.Types.fault what);
+        m "fault %a: unresolved after %d attempts (%s)"
+          Fault.Types.pp_fault fc.representative.Fault.Types.fault attempts
+          what);
     {
       fault_class = fc;
-      signature =
-        { Signature.voltage = Signature.Output_stuck_at;
-          currents = Signature.all_current };
-      simulation_failed = true;
+      signature = gross_signature;
+      status = Unresolved { attempts; error = what };
     }
 
-let run ?jobs ~(macro : Macro_cell.t) ~good classes =
+let run ?jobs ?retries ?inject ?(strict = false) ~(macro : Macro_cell.t) ~good
+    classes =
   (* The nominal netlist is built once and shared by every class: injection
      copies it before mutating, so parallel workers only ever read it. *)
   let nominal =
     macro.Macro_cell.build (Process.Variation.nominal Process.Tech.cmos1um)
   in
   let golden = macro.Macro_cell.measure nominal in
-  Util.Pool.parallel_map ?jobs (evaluate_class ~macro ~nominal ~good ~golden)
+  Util.Pool.parallel_mapi ?jobs
+    (fun index fc ->
+      let outcome =
+        evaluate_class ?retries ?inject ~index ~macro ~nominal ~good ~golden fc
+      in
+      (match outcome.status with
+      | Unresolved { attempts; error } when strict ->
+        raise (Simulation_failed { index; attempts; error })
+      | Unresolved _ | Converged | Recovered _ -> ());
+      outcome)
     classes
 
 let total_weight outcomes =

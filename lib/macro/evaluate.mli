@@ -3,22 +3,67 @@
     Each fault class representative is injected into the macro's nominal
     netlist, the macro is re-measured, and the faulty vector is classified
     into the paper's voltage and current signature categories against the
-    good-signature space. A fault that makes the simulation fail to
-    converge even with every fallback is a gross defect: it is classified
-    as stuck with all currents deviating. *)
+    good-signature space.
+
+    Injected defects routinely produce pathological circuits (floating
+    nodes, near-shorts) where the Newton solver fails; every fault-class
+    simulation is therefore contained. A {!Circuit.Engine.No_convergence}
+    triggers deterministic retries that walk the engine's documented
+    escalation ladder ({!Circuit.Engine.escalation}) via
+    {!Circuit.Engine.with_options_override}; a class that still fails is
+    recorded as {!Unresolved} — with the classified error and the attempts
+    taken — instead of aborting the whole batch. Its signature keeps the
+    seed pipeline's optimistic gross-defect reading (output stuck, all
+    currents deviating); [Core.Global.coverage_bounds] also reports the
+    pessimistic bound where unresolved classes count as undetected. *)
+
+(** How the class's simulation concluded. *)
+type status =
+  | Converged  (** clean first-attempt convergence *)
+  | Recovered of { attempts : int }
+      (** converged only on an escalated retry — the signature was
+          measured with loosened solver tolerances (degraded) *)
+  | Unresolved of { attempts : int; error : string }
+      (** every attempt failed; [error] is the classified final error *)
 
 type outcome = {
   fault_class : Fault.Collapse.fault_class;
   signature : Signature.t;
-  simulation_failed : bool;
+  status : status;
 }
+
+(** [simulation_failed o] — [true] iff the class ended {!Unresolved}. *)
+val simulation_failed : outcome -> bool
+
+(** Raised (inside the worker; the pool wraps it in
+    [Util.Pool.Worker_failure]) when [run ~strict:true] meets an
+    unresolved class — restoring the seed's fail-fast behaviour, with the
+    failing fault-class index attached. *)
+exception Simulation_failed of { index : int; attempts : int; error : string }
+
+(** Deterministic fault-injection harness for the pipeline itself (test
+    hook, off by default): makes a configurable [fraction] of fault-class
+    simulations raise [No_convergence]. The decision is a pure function of
+    [(seed, class index, attempt)] seeded through {!Util.Prng}, so it is
+    identical for any job count. Half of the injected fraction fails every
+    attempt (ending {!Unresolved}); the other half fails only the first
+    attempt (ending {!Recovered}). *)
+type injection = { seed : int; fraction : float }
 
 (** [evaluate_class ~macro ~nominal ~good ~golden fc] fault-simulates one
     class. [nominal] is the macro's fault-free netlist (built once by the
     caller; injection copies it, so it is never mutated) and [golden] is
     the nominal fault-free measurement vector (pass the same one to every
-    call; it is the reference for voltage classification). *)
+    call; it is the reference for voltage classification). [retries]
+    bounds escalated re-attempts after a convergence failure (default 1);
+    [index] is the class's position in its batch, used by the [inject]
+    hook and for error attribution. Exceptions other than
+    [No_convergence] are never retried or contained — programming errors
+    still propagate. *)
 val evaluate_class :
+  ?retries:int ->
+  ?inject:injection ->
+  ?index:int ->
   macro:Macro_cell.t ->
   nominal:Circuit.Netlist.t ->
   good:Good_space.t ->
@@ -30,9 +75,14 @@ val evaluate_class :
     netlist and measuring the golden vector once. Classes are simulated on
     a {!Util.Pool} of [?jobs] worker domains (defaulting to the pool's
     process-wide setting); outcomes keep the input order, so the result is
-    identical for any job count. *)
+    identical for any job count. With [~strict:true], containment is off:
+    the first (lowest-indexed) unresolved class raises
+    {!Simulation_failed} wrapped in [Util.Pool.Worker_failure]. *)
 val run :
   ?jobs:int ->
+  ?retries:int ->
+  ?inject:injection ->
+  ?strict:bool ->
   macro:Macro_cell.t ->
   good:Good_space.t ->
   Fault.Collapse.fault_class list ->

@@ -10,7 +10,11 @@ val normal : Prng.t -> mean:float -> sigma:float -> float
 
 (** [truncated_normal prng ~mean ~sigma ~lo ~hi] redraws until the variate
     lands in [\[lo, hi\]]; used for physical parameters that cannot go
-    negative. @raise Invalid_argument if [lo >= hi]. *)
+    negative. Redraws are capped at 1000: a window many σ away from the
+    mean (where the acceptance probability is essentially zero) cannot
+    hang a Monte-Carlo die — after the cap the result is the mean clamped
+    into [\[lo, hi\]], i.e. the bound nearer the mean.
+    @raise Invalid_argument if [lo >= hi]. *)
 val truncated_normal :
   Prng.t -> mean:float -> sigma:float -> lo:float -> hi:float -> float
 

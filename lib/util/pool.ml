@@ -1,3 +1,13 @@
+exception Worker_failure of int * exn
+
+let () =
+  Printexc.register_printer (function
+    | Worker_failure (index, e) ->
+      Some
+        (Printf.sprintf "Pool.Worker_failure: item %d raised %s" index
+           (Printexc.to_string e))
+    | _ -> None)
+
 let default_jobs () =
   match Sys.getenv_opt "DOTEST_JOBS" with
   | Some s ->
@@ -23,15 +33,24 @@ let effective_jobs requested =
   if Domain.DLS.get inside_worker then 1
   else max 1 (match requested with Some n -> n | None -> jobs ())
 
+(* Attribute a worker failure to its item: batch callers (thousands of
+   fault classes) need to know which item blew up. *)
+let apply_wrapped f i x =
+  match f i x with
+  | v -> v
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Printexc.raise_with_backtrace (Worker_failure (i, e)) bt
+
 let parallel_mapi ?jobs:requested f xs =
   match xs with
   | [] -> []
-  | [ x ] -> [ f 0 x ]
+  | [ x ] -> [ apply_wrapped f 0 x ]
   | _ ->
     let items = Array.of_list xs in
     let n = Array.length items in
     let workers = min (effective_jobs requested) n in
-    if workers <= 1 then List.mapi f xs
+    if workers <= 1 then List.mapi (apply_wrapped f) xs
     else begin
       let results = Array.make n None in
       let failures = Array.make n None in
@@ -59,9 +78,10 @@ let parallel_mapi ?jobs:requested f xs =
           Domain.DLS.set inside_worker was_inside;
           Array.iter Domain.join spawned)
         worker;
-      Array.iter
-        (function
-          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      Array.iteri
+        (fun i -> function
+          | Some (e, bt) ->
+            Printexc.raise_with_backtrace (Worker_failure (i, e)) bt
           | None -> ())
         failures;
       Array.to_list

@@ -19,6 +19,15 @@
     stage (e.g. per-macro analysis) automatically serialises the stages
     nested beneath it. *)
 
+(** [Worker_failure (index, e)] wraps the exception [e] raised while
+    processing the item at [index] of the input list, so a failure in a
+    batch of thousands of items is attributable. Every combinator below
+    raises failures in this form, on the sequential paths too — error
+    behaviour is identical for any job count. A registered
+    [Printexc] printer renders it as ["Pool.Worker_failure: item N
+    raised …"]. *)
+exception Worker_failure of int * exn
+
 (** [default_jobs ()] is the job count used when {!set_jobs} has not been
     called: [DOTEST_JOBS] if set to a positive integer, otherwise
     [max 1 (Domain.recommended_domain_count () - 1)]. *)
@@ -35,7 +44,8 @@ val jobs : unit -> int
     domains. Results keep input order. If any application raises, the
     remaining items still run to completion, then the exception of the
     lowest-indexed failing item is re-raised (with its backtrace) on the
-    calling domain — which exception propagates is therefore deterministic. *)
+    calling domain as [Worker_failure (index, e)] — which exception
+    propagates is therefore deterministic. *)
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 (** [parallel_mapi ?jobs f xs] is [List.mapi f xs] with the same contract

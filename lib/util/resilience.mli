@@ -1,0 +1,80 @@
+(** Generic fault-tolerance combinators for the simulation pipeline.
+
+    Injected defects routinely produce pathological circuits (floating
+    nodes, near-shorts) that are exactly the cases where Newton solvers
+    fail; industrial defect-oriented flows treat such non-converging
+    corner simulations as first-class data rather than crashes. This
+    module provides the two mechanical pieces of that policy:
+
+    - {!run}, an exception-classifying retry combinator. The caller
+      supplies a deterministic escalation schedule implicitly: the work
+      function receives the 0-based attempt number and is expected to
+      derive its (progressively looser) solver settings from it, so a
+      retry sequence is a pure function of the attempt count — never of
+      wall-clock time or scheduling.
+    - {!budget}, a per-run failure budget. Containment must not silently
+      turn a completely broken run into an "everything unresolved"
+      report; once more failures have been recorded than the budget
+      allows, {!spend} raises {!Budget_exhausted}.
+
+    Nothing here is specific to circuit simulation; the classifier
+    decides which exceptions are worth retrying. *)
+
+(** How an exception raised by one attempt should be treated. *)
+type classification =
+  | Retryable  (** a known failure mode; escalate and try again *)
+  | Fatal      (** a programming error; re-raise immediately *)
+
+(** The result of running a retried computation to completion. *)
+type 'a outcome =
+  | Resolved of { value : 'a; attempts : int }
+      (** succeeded on attempt [attempts] (1 = first try, no retry). *)
+  | Exhausted of { error : exn; attempts : int }
+      (** every one of the [attempts] attempts raised a [Retryable]
+          exception; [error] is the last one. *)
+
+(** [run ~classify ~attempts f] calls [f ~attempt] with [attempt] going
+    0, 1, 2, … until it returns a value, raises a [Fatal] exception (which
+    propagates unchanged, with its backtrace), or [attempts] attempts have
+    been used up. [attempts] must be at least 1.
+    @raise Invalid_argument if [attempts < 1]. *)
+val run :
+  classify:(exn -> classification) ->
+  attempts:int ->
+  (attempt:int -> 'a) ->
+  'a outcome
+
+(** [step schedule attempt] is element [attempt] of [schedule], clamped
+    to the last element — the standard way to map an unbounded attempt
+    counter onto a finite ladder of escalated settings.
+    @raise Invalid_argument on an empty schedule. *)
+val step : 'a list -> int -> 'a
+
+(** {1 Failure budget} *)
+
+exception Budget_exhausted of { failures : int; limit : int }
+
+(** A mutable failure counter with an optional hard limit. Not
+    thread-safe: record failures from one domain only — in the pipeline
+    that means after a parallel stage has merged its (deterministically
+    ordered) results, which also keeps the point of exhaustion
+    independent of the job count. *)
+type budget
+
+(** [budget ~limit] allows at most [limit] failures ([limit < 0] is
+    treated as 0). *)
+val budget : limit:int -> budget
+
+(** A budget that never exhausts. *)
+val unlimited : unit -> budget
+
+(** Failures recorded so far. *)
+val failures : budget -> int
+
+(** [spend b n] records [n] more failures.
+    @raise Budget_exhausted when the total exceeds the limit. *)
+val spend : budget -> int -> unit
+
+(** [remaining b] is [Some (limit - failures)] (never negative), or
+    [None] for an unlimited budget. *)
+val remaining : budget -> int option

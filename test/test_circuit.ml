@@ -168,6 +168,56 @@ let test_dc_voltage_divider () =
   (* Source delivers V/(R1+R2) into the circuit. *)
   check_float 1e-9 "supply current" (10.0 /. 4000.0) (Engine.source_current sol "V1")
 
+let test_dc_diagnostics () =
+  let nl = Netlist.create () in
+  let vin = Netlist.node nl "in" in
+  let mid = Netlist.node nl "mid" in
+  Netlist.add_vsource nl ~name:"V1" ~pos:vin ~neg:Netlist.ground (Waveform.dc 10.0);
+  Netlist.add_resistor nl ~name:"R1" vin mid 1_000.0;
+  Netlist.add_resistor nl ~name:"R2" mid Netlist.ground 3_000.0;
+  let sol, diag = Engine.dc_operating_point_diag nl in
+  check_float 1e-6 "same solution" 7.5 (Engine.voltage sol mid);
+  Alcotest.(check bool) "iterations counted" true (diag.Engine.iterations > 0);
+  Alcotest.(check bool) "linear circuit needs no fallback" true
+    (diag.Engine.fallback = Engine.Plain_newton)
+
+let test_escalation_ladder () =
+  let base = Engine.default_options in
+  Alcotest.(check bool) "level 0 is base" true (Engine.escalation base ~level:0 = base);
+  let l1 = Engine.escalation base ~level:1 in
+  let l3 = Engine.escalation base ~level:3 in
+  Alcotest.(check bool) "monotonically looser reltol" true
+    (base.Engine.reltol < l1.Engine.reltol && l1.Engine.reltol < l3.Engine.reltol);
+  Alcotest.(check bool) "more iterations" true
+    (l3.Engine.max_iterations > l1.Engine.max_iterations
+    && l1.Engine.max_iterations > base.Engine.max_iterations);
+  Alcotest.(check bool) "levels above the top clamp" true
+    (Engine.escalation base ~level:99
+    = Engine.escalation base ~level:Engine.escalation_levels)
+
+let test_options_override_scoped () =
+  let nl = Netlist.create () in
+  let vin = Netlist.node nl "in" in
+  Netlist.add_vsource nl ~name:"V1" ~pos:vin ~neg:Netlist.ground (Waveform.dc 1.0);
+  Netlist.add_resistor nl ~name:"R1" vin Netlist.ground 1_000.0;
+  (* The override must apply inside the scope (a zero iteration budget
+     fails even this linear solve) and be restored after, including when
+     the scope exits with an exception. *)
+  let starved = { Engine.default_options with Engine.max_iterations = 0 } in
+  (match
+     Engine.with_options_override starved (fun () ->
+         Engine.dc_operating_point nl)
+   with
+  | _ -> Alcotest.fail "starved options must fail"
+  | exception Engine.No_convergence _ -> ());
+  ignore (Engine.dc_operating_point nl);
+  (match
+     Engine.with_options_override starved (fun () -> failwith "escape")
+   with
+  | _ -> Alcotest.fail "exception must propagate"
+  | exception Failure _ -> ());
+  ignore (Engine.dc_operating_point nl)
+
 let test_dc_current_source () =
   let nl = Netlist.create () in
   let out = Netlist.node nl "out" in
@@ -560,6 +610,9 @@ let suites =
     ( "circuit.engine.dc",
       [
         Alcotest.test_case "voltage divider" `Quick test_dc_voltage_divider;
+        Alcotest.test_case "diagnostics" `Quick test_dc_diagnostics;
+        Alcotest.test_case "escalation ladder" `Quick test_escalation_ladder;
+        Alcotest.test_case "options override scoped" `Quick test_options_override_scoped;
         Alcotest.test_case "current source" `Quick test_dc_current_source;
         Alcotest.test_case "floating node" `Quick test_dc_floating_node_gmin;
         Alcotest.test_case "nmos diode KCL" `Quick test_dc_nmos_diode;

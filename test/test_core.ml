@@ -119,6 +119,132 @@ let test_pipeline_comparator_shape () =
     (let c = Testgen.Overlap.coverage venn in
      c > 0.75 && c < 1.0)
 
+(* --- resilience / run health ------------------------------------------ *)
+
+let injected_config =
+  { small_config with Core.Pipeline.inject_failures = Some 0.2 }
+
+let injected_analysis =
+  lazy
+    (Core.Pipeline.analyze injected_config
+       (Adc.Comparator.macro Adc.Comparator.default_options))
+
+let test_pipeline_clean_run_health () =
+  let a = Lazy.force comparator_analysis in
+  let h = a.Core.Pipeline.health in
+  Alcotest.(check int) "no retries" 0 h.Core.Pipeline.retried;
+  Alcotest.(check int) "no degradation" 0 h.Core.Pipeline.degraded;
+  Alcotest.(check int) "no unresolved" 0 h.Core.Pipeline.unresolved;
+  Alcotest.(check int) "all classes counted"
+    (List.length a.Core.Pipeline.outcomes_catastrophic
+    + List.length a.Core.Pipeline.outcomes_non_catastrophic)
+    h.Core.Pipeline.classes;
+  Alcotest.(check bool) "stages timed" true
+    (List.map fst h.Core.Pipeline.stage_seconds
+    = [ "sprinkle"; "collapse"; "good-space"; "evaluate-cat"; "evaluate-ncat" ])
+
+let test_pipeline_injected_run_completes_degraded () =
+  (* With 20 % of the simulations forced to fail, the run must complete —
+     no exception — and report nonzero unresolved and recovered counts. *)
+  let a = Lazy.force injected_analysis in
+  let h = a.Core.Pipeline.health in
+  Alcotest.(check bool) "unresolved classes reported" true
+    (h.Core.Pipeline.unresolved > 0);
+  Alcotest.(check bool) "recovered classes reported" true
+    (h.Core.Pipeline.degraded > 0);
+  Alcotest.(check bool) "retried covers both" true
+    (h.Core.Pipeline.retried
+    >= h.Core.Pipeline.degraded + h.Core.Pipeline.unresolved)
+
+let test_pipeline_injected_health_jobs_invariant () =
+  let with_jobs jobs =
+    let saved = Util.Pool.jobs () in
+    Util.Pool.set_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Util.Pool.set_jobs saved)
+      (fun () ->
+        Core.Pipeline.analyze injected_config
+          (Adc.Comparator.macro Adc.Comparator.default_options))
+  in
+  let a = with_jobs 1 in
+  let b = with_jobs 4 in
+  let counters x =
+    let h = x.Core.Pipeline.health in
+    ( h.Core.Pipeline.classes,
+      h.Core.Pipeline.retried,
+      h.Core.Pipeline.degraded,
+      h.Core.Pipeline.unresolved )
+  in
+  Alcotest.(check bool) "same health counters" true (counters a = counters b);
+  let render x =
+    Util.Table.render (Core.Report.run_health (Core.Pipeline.run_health [ x ]))
+  in
+  Alcotest.(check string) "byte-identical health table" (render a) (render b);
+  let bounds x =
+    let g = Core.Global.combine [ x ] in
+    ( Core.Global.coverage_bounds g Fault.Types.Catastrophic,
+      Core.Global.coverage_bounds g Fault.Types.Non_catastrophic )
+  in
+  Alcotest.(check bool) "identical bounds" true (bounds a = bounds b)
+
+let test_pipeline_bounds_bracket_clean_coverage () =
+  let clean = Lazy.force comparator_analysis in
+  let injected = Lazy.force injected_analysis in
+  List.iter
+    (fun severity ->
+      let reference =
+        Core.Global.coverage (Core.Global.combine [ clean ]) severity
+      in
+      let pessimistic, optimistic =
+        Core.Global.coverage_bounds (Core.Global.combine [ injected ]) severity
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "bracket (%.4f <= %.4f <= %.4f)" pessimistic reference
+           optimistic)
+        true
+        (pessimistic <= reference +. 1e-9 && reference <= optimistic +. 1e-9))
+    [ Fault.Types.Catastrophic; Fault.Types.Non_catastrophic ]
+
+let test_pipeline_clean_bounds_collapse () =
+  let g = Core.Global.combine [ Lazy.force comparator_analysis ] in
+  let pessimistic, optimistic =
+    Core.Global.coverage_bounds g Fault.Types.Catastrophic
+  in
+  let c = Core.Global.coverage g Fault.Types.Catastrophic in
+  Alcotest.(check (float 1e-12)) "pessimistic = coverage" c pessimistic;
+  Alcotest.(check (float 1e-12)) "optimistic = coverage" c optimistic
+
+let test_pipeline_strict_fails_fast () =
+  match
+    Core.Pipeline.analyze
+      { injected_config with Core.Pipeline.strict = true }
+      (Adc.Comparator.macro Adc.Comparator.default_options)
+  with
+  | _ -> Alcotest.fail "strict injected run must raise"
+  | exception
+      Util.Pool.Worker_failure
+        (_, Macro.Evaluate.Simulation_failed { index; _ }) ->
+    Alcotest.(check bool) "failing class index attached" true (index >= 0)
+
+let test_pipeline_failure_budget () =
+  match
+    Core.Pipeline.analyze
+      { injected_config with Core.Pipeline.failure_budget = Some 0 }
+      (Adc.Comparator.macro Adc.Comparator.default_options)
+  with
+  | _ -> Alcotest.fail "zero budget must be exhausted"
+  | exception Util.Resilience.Budget_exhausted { failures; limit } ->
+    Alcotest.(check int) "limit echoed" 0 limit;
+    Alcotest.(check bool) "failures counted" true (failures > 0)
+
+let test_run_health_report_renders () =
+  let a = Lazy.force injected_analysis in
+  let health = Core.Pipeline.run_health [ a ] in
+  Alcotest.(check int) "totals match" health.Core.Pipeline.total_unresolved
+    a.Core.Pipeline.health.Core.Pipeline.unresolved;
+  let s = Util.Table.render (Core.Report.run_health health) in
+  Alcotest.(check bool) "renders" true (String.length s > 50)
+
 let global_pair =
   lazy
     (Dft.Measures.compare_coverage ~config:small_config ())
@@ -195,6 +321,17 @@ let suites =
         Alcotest.test_case "jobs invariant" `Slow test_pipeline_jobs_invariant;
         Alcotest.test_case "seed sensitivity" `Slow test_pipeline_seed_changes_results;
         Alcotest.test_case "paper shape holds" `Slow test_pipeline_comparator_shape;
+      ] );
+    ( "core.resilience",
+      [
+        Alcotest.test_case "clean run health" `Slow test_pipeline_clean_run_health;
+        Alcotest.test_case "injected run degrades" `Slow test_pipeline_injected_run_completes_degraded;
+        Alcotest.test_case "health jobs invariant" `Slow test_pipeline_injected_health_jobs_invariant;
+        Alcotest.test_case "bounds bracket clean coverage" `Slow test_pipeline_bounds_bracket_clean_coverage;
+        Alcotest.test_case "clean bounds collapse" `Slow test_pipeline_clean_bounds_collapse;
+        Alcotest.test_case "strict fails fast" `Slow test_pipeline_strict_fails_fast;
+        Alcotest.test_case "failure budget" `Slow test_pipeline_failure_budget;
+        Alcotest.test_case "run health renders" `Slow test_run_health_report_renders;
       ] );
     ( "core.global",
       [

@@ -143,7 +143,10 @@ let test_evaluate_detects_hard_short () =
     (o.signature.Macro.Signature.voltage = Macro.Signature.Output_stuck_at);
   Alcotest.(check bool) "IVdd deviates" true
     (List.mem Macro.Signature.IVdd o.signature.Macro.Signature.currents);
-  Alcotest.(check bool) "simulation fine" false o.simulation_failed
+  Alcotest.(check bool) "simulation fine" false
+    (Macro.Evaluate.simulation_failed o);
+  Alcotest.(check bool) "converged first try" true
+    (o.status = Macro.Evaluate.Converged)
 
 let test_evaluate_benign_fault () =
   let macro = toy_macro () in
@@ -178,10 +181,127 @@ let test_evaluate_sim_failure_is_gross () =
            origin = Fault.Types.Short })
   in
   let o = Macro.Evaluate.evaluate_class ~macro ~nominal ~good ~golden fc in
-  Alcotest.(check bool) "flagged" true o.simulation_failed;
+  Alcotest.(check bool) "flagged" true (Macro.Evaluate.simulation_failed o);
+  (match o.status with
+  | Macro.Evaluate.Unresolved { attempts; error } ->
+    (* default: one escalated retry after the first failure *)
+    Alcotest.(check int) "attempts" 2 attempts;
+    Alcotest.(check bool) "error recorded" true (error = "forced")
+  | Macro.Evaluate.Converged | Macro.Evaluate.Recovered _ ->
+    Alcotest.fail "expected Unresolved");
   Alcotest.(check bool) "stuck with all currents" true
     (o.signature.Macro.Signature.voltage = Macro.Signature.Output_stuck_at
     && o.signature.Macro.Signature.currents = Macro.Signature.all_current)
+
+(* Eight copies of a benign class, indexes 0..7; with fraction 1.0 every
+   index is injected — about half persistently (Unresolved), the rest
+   only on the first attempt (Recovered on the escalated retry). *)
+let injected_classes =
+  List.init 8 (fun _ ->
+      fault_class
+        (Fault.Types.Bridge
+           { net_a = "mid"; net_b = "0"; resistance = 1e7; capacitance = None;
+             origin = Fault.Types.Short }))
+
+let test_evaluate_injection_exercises_both_paths () =
+  let macro = toy_macro () in
+  let good = compile_good () in
+  let inject = { Macro.Evaluate.seed = 42; fraction = 1.0 } in
+  let outcomes = Macro.Evaluate.run ~inject ~macro ~good injected_classes in
+  let recovered, unresolved =
+    List.fold_left
+      (fun (r, u) (o : Macro.Evaluate.outcome) ->
+        match o.status with
+        | Macro.Evaluate.Recovered { attempts } ->
+          Alcotest.(check int) "recovered on retry" 2 attempts;
+          r + 1, u
+        | Macro.Evaluate.Unresolved { attempts; _ } ->
+          Alcotest.(check int) "exhausted retries" 2 attempts;
+          r, u + 1
+        | Macro.Evaluate.Converged -> Alcotest.fail "injection missed a class")
+      (0, 0) outcomes
+  in
+  Alcotest.(check bool) "both paths hit" true (recovered > 0 && unresolved > 0);
+  Alcotest.(check int) "all classes accounted" 8 (recovered + unresolved)
+
+let test_evaluate_injection_jobs_invariant () =
+  let macro = toy_macro () in
+  let good = compile_good () in
+  let inject = { Macro.Evaluate.seed = 42; fraction = 0.5 } in
+  let statuses jobs =
+    List.map
+      (fun (o : Macro.Evaluate.outcome) -> o.status)
+      (Macro.Evaluate.run ~jobs ~inject ~macro ~good injected_classes)
+  in
+  Alcotest.(check bool) "same statuses at jobs 1 and 4" true
+    (statuses 1 = statuses 4)
+
+let test_evaluate_no_retries_means_one_attempt () =
+  let macro = toy_macro () in
+  let good = compile_good () in
+  let inject = { Macro.Evaluate.seed = 42; fraction = 1.0 } in
+  let outcomes =
+    Macro.Evaluate.run ~retries:0 ~inject ~macro ~good injected_classes
+  in
+  List.iter
+    (fun (o : Macro.Evaluate.outcome) ->
+      match o.status with
+      | Macro.Evaluate.Unresolved { attempts; _ } ->
+        Alcotest.(check int) "single attempt" 1 attempts
+      | Macro.Evaluate.Converged | Macro.Evaluate.Recovered _ ->
+        Alcotest.fail "with zero retries every injected class is unresolved")
+    outcomes
+
+let test_evaluate_strict_fails_fast_with_index () =
+  let macro = toy_macro () in
+  let good = compile_good () in
+  let inject = { Macro.Evaluate.seed = 42; fraction = 1.0 } in
+  (* The reference (contained) run tells us the lowest unresolved index. *)
+  let outcomes = Macro.Evaluate.run ~inject ~macro ~good injected_classes in
+  let first_unresolved =
+    let rec scan i = function
+      | [] -> Alcotest.fail "no unresolved class in reference run"
+      | o :: rest ->
+        if Macro.Evaluate.simulation_failed o then i else scan (i + 1) rest
+    in
+    scan 0 outcomes
+  in
+  let check_strict jobs =
+    match Macro.Evaluate.run ~jobs ~strict:true ~inject ~macro ~good
+            injected_classes
+    with
+    | _ -> Alcotest.fail "strict run must raise"
+    | exception
+        Util.Pool.Worker_failure
+          (i, Macro.Evaluate.Simulation_failed { index; attempts; _ }) ->
+      Alcotest.(check int) "wrapped index" first_unresolved i;
+      Alcotest.(check int) "payload index" first_unresolved index;
+      Alcotest.(check int) "attempts reported" 2 attempts
+  in
+  check_strict 1;
+  check_strict 4
+
+let test_evaluate_fatal_exception_not_contained () =
+  let macro =
+    { (toy_macro ()) with
+      Macro.Macro_cell.measure = (fun _ -> failwith "programming error")
+    }
+  in
+  let good = compile_good () in
+  let nominal = toy_build (Process.Variation.nominal tech) in
+  let golden = toy_measure nominal in
+  let fc =
+    fault_class
+      (Fault.Types.Bridge
+         { net_a = "mid"; net_b = "0"; resistance = 1.0; capacitance = None;
+           origin = Fault.Types.Short })
+  in
+  match
+    Macro.Evaluate.evaluate_class ~retries:3 ~macro ~nominal ~good ~golden fc
+  with
+  | _ -> Alcotest.fail "fatal exception must propagate"
+  | exception Failure msg ->
+    Alcotest.(check string) "original exception" "programming error" msg
 
 let test_voltage_table_sums_to_one () =
   let macro = toy_macro () in
@@ -235,6 +355,11 @@ let suites =
         Alcotest.test_case "hard short detected" `Quick test_evaluate_detects_hard_short;
         Alcotest.test_case "benign fault" `Quick test_evaluate_benign_fault;
         Alcotest.test_case "sim failure is gross" `Quick test_evaluate_sim_failure_is_gross;
+        Alcotest.test_case "injection: both paths" `Quick test_evaluate_injection_exercises_both_paths;
+        Alcotest.test_case "injection: jobs invariant" `Quick test_evaluate_injection_jobs_invariant;
+        Alcotest.test_case "zero retries" `Quick test_evaluate_no_retries_means_one_attempt;
+        Alcotest.test_case "strict fails fast" `Quick test_evaluate_strict_fails_fast_with_index;
+        Alcotest.test_case "fatal not contained" `Quick test_evaluate_fatal_exception_not_contained;
         Alcotest.test_case "voltage table sums" `Quick test_voltage_table_sums_to_one;
         Alcotest.test_case "area weight" `Quick test_area_weight_scales_with_instances;
       ] );

@@ -80,6 +80,25 @@ let test_parse_duplicate_model () =
   in
   Alcotest.(check bool) "duplicate" true (contains e "duplicate model")
 
+let test_parse_malformed_suffix_line () =
+  (* A bad value suffix must come back as Error (not an exception) and
+     name the offending line. *)
+  let e = parse_err "R1 a 0 1k\nC1 a 0 3x7\n" in
+  Alcotest.(check bool) "mentions line 2" true (contains e "line 2")
+
+let test_parse_duplicate_device () =
+  (* Re-using a device name must be a parse Error with the right line,
+     not an uncaught Invalid_argument from the netlist builder. *)
+  let e = parse_err "R1 a 0 1k\nR1 b 0 2k\n" in
+  Alcotest.(check bool) "names the duplicate" true
+    (contains e "duplicate device");
+  Alcotest.(check bool) "mentions line 2" true (contains e "line 2")
+
+let test_parse_unknown_model_line_number () =
+  let e = parse_err "R1 a 0 1k\nR2 a b 2k\nM1 d g s 0 NOPE W=1u L=1u\n" in
+  Alcotest.(check bool) "unknown model" true (contains e "unknown model");
+  Alcotest.(check bool) "mentions line 3" true (contains e "line 3")
+
 let test_parse_unsupported_card () =
   let e = parse_err "Q1 c b e model\n" in
   Alcotest.(check bool) "unsupported" true (contains e "unsupported card")
@@ -173,6 +192,9 @@ let suites =
         Alcotest.test_case "line numbers" `Quick test_parse_reports_line_numbers;
         Alcotest.test_case "unknown model" `Quick test_parse_unknown_model;
         Alcotest.test_case "duplicate model" `Quick test_parse_duplicate_model;
+        Alcotest.test_case "malformed suffix line" `Quick test_parse_malformed_suffix_line;
+        Alcotest.test_case "duplicate device" `Quick test_parse_duplicate_device;
+        Alcotest.test_case "unknown model line" `Quick test_parse_unknown_model_line_number;
         Alcotest.test_case "unsupported card" `Quick test_parse_unsupported_card;
         Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blanks;
       ] );

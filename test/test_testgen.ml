@@ -19,7 +19,7 @@ let outcome ?(count = 1) voltage currents =
         count;
       };
     signature = { Macro.Signature.voltage; currents };
-    simulation_failed = false;
+    status = Macro.Evaluate.Converged;
   }
 
 (* ------------------------------------------------------------------ *)

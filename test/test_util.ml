@@ -154,6 +154,25 @@ let test_truncated_normal_bounds () =
     Alcotest.(check bool) "in bounds" true (x >= -1.0 && x <= 1.0)
   done
 
+let test_truncated_normal_unreachable_window () =
+  (* Regression: a window 10 sigma away from the mean defeats rejection
+     sampling; the redraw loop must give up after its cap and clamp to
+     the bound nearer the mean instead of spinning (or recursing) forever. *)
+  let prng = Prng.create 53 in
+  for _ = 1 to 100 do
+    let x =
+      Distribution.truncated_normal prng ~mean:0.0 ~sigma:1.0 ~lo:10.0 ~hi:11.0
+    in
+    Alcotest.(check (float 1e-12)) "clamped to nearer bound" 10.0 x
+  done;
+  for _ = 1 to 100 do
+    let x =
+      Distribution.truncated_normal prng ~mean:0.0 ~sigma:1.0 ~lo:(-11.0)
+        ~hi:(-10.0)
+    in
+    Alcotest.(check (float 1e-12)) "negative side clamps to hi" (-10.0) x
+  done
+
 let test_power_law_bounds_and_shape () =
   let prng = Prng.create 37 in
   let small = ref 0 and total = 10_000 in
@@ -351,8 +370,8 @@ let test_pool_mapi_order () =
     (Pool.parallel_mapi ~jobs:3 (fun i s -> string_of_int i ^ s) xs)
 
 let test_pool_exception_propagates () =
-  Alcotest.check_raises "worker failure reaches the caller"
-    (Failure "item 5")
+  Alcotest.check_raises "worker failure reaches the caller, wrapped"
+    (Pool.Worker_failure (5, Failure "item 5"))
     (fun () ->
       ignore
         (Pool.parallel_map ~jobs:4
@@ -361,12 +380,12 @@ let test_pool_exception_propagates () =
 
 let test_pool_first_failure_wins () =
   (* Several items fail; the lowest index must be the one re-raised, for
-     any job count. *)
+     any job count — including the sequential paths (jobs=1, singleton). *)
   List.iter
     (fun jobs ->
       Alcotest.check_raises
         (Printf.sprintf "jobs=%d reports lowest index" jobs)
-        (Failure "item 3")
+        (Pool.Worker_failure (3, Failure "item 3"))
         (fun () ->
           ignore
             (Pool.parallel_map ~jobs
@@ -374,6 +393,19 @@ let test_pool_first_failure_wins () =
                  if x >= 3 then failwith (Printf.sprintf "item %d" x) else x)
                (List.init 16 Fun.id))))
     [ 1; 4 ]
+
+let test_pool_singleton_failure_wrapped () =
+  Alcotest.check_raises "singleton path wraps too"
+    (Pool.Worker_failure (0, Failure "only item"))
+    (fun () ->
+      ignore
+        (Pool.parallel_map ~jobs:4 (fun _ -> failwith "only item") [ () ]))
+
+let test_pool_worker_failure_printer () =
+  let s = Printexc.to_string (Pool.Worker_failure (7, Failure "boom")) in
+  Alcotest.(check bool) "mentions the item index" true
+    (contains_substring s "7");
+  Alcotest.(check bool) "mentions the cause" true (contains_substring s "boom")
 
 let test_pool_chunk_ranges () =
   Alcotest.(check (list (pair int int))) "exact split"
@@ -420,6 +452,77 @@ let test_pool_set_jobs_floor () =
   Pool.set_jobs before;
   Alcotest.(check int) "clamped to 1" 1 clamped
 
+(* ------------------------------------------------------------------ *)
+(* Resilience                                                          *)
+(* ------------------------------------------------------------------ *)
+
+exception Transient of int
+exception Permanent
+
+let retry_all = function
+  | Transient _ -> Resilience.Retryable
+  | _ -> Resilience.Fatal
+
+let test_resilience_first_try () =
+  match Resilience.run ~classify:retry_all ~attempts:3 (fun ~attempt -> attempt * 10) with
+  | Resilience.Resolved { value; attempts } ->
+    Alcotest.(check int) "attempt 0 value" 0 value;
+    Alcotest.(check int) "one attempt" 1 attempts
+  | Resilience.Exhausted _ -> Alcotest.fail "must resolve"
+
+let test_resilience_retries_then_succeeds () =
+  match
+    Resilience.run ~classify:retry_all ~attempts:4 (fun ~attempt ->
+        if attempt < 2 then raise (Transient attempt) else attempt)
+  with
+  | Resilience.Resolved { value; attempts } ->
+    Alcotest.(check int) "value from attempt 2" 2 value;
+    Alcotest.(check int) "three attempts" 3 attempts
+  | Resilience.Exhausted _ -> Alcotest.fail "must resolve on the third try"
+
+let test_resilience_exhausts () =
+  match
+    Resilience.run ~classify:retry_all ~attempts:3 (fun ~attempt ->
+        (raise (Transient attempt) : unit))
+  with
+  | Resilience.Resolved _ -> Alcotest.fail "must exhaust"
+  | Resilience.Exhausted { error; attempts } ->
+    Alcotest.(check int) "all attempts spent" 3 attempts;
+    Alcotest.(check bool) "last error kept" true (error = Transient 2)
+
+let test_resilience_fatal_not_retried () =
+  let calls = ref 0 in
+  (match
+     Resilience.run ~classify:retry_all ~attempts:5 (fun ~attempt:_ ->
+         incr calls;
+         (raise Permanent : unit))
+   with
+  | _ -> Alcotest.fail "fatal must re-raise"
+  | exception Permanent -> ());
+  Alcotest.(check int) "single call" 1 !calls
+
+let test_resilience_step_clamps () =
+  let schedule = [ 1; 10; 100 ] in
+  Alcotest.(check int) "first" 1 (Resilience.step schedule 0);
+  Alcotest.(check int) "second" 10 (Resilience.step schedule 1);
+  Alcotest.(check int) "clamped to last" 100 (Resilience.step schedule 7)
+
+let test_resilience_budget () =
+  let b = Resilience.budget ~limit:2 in
+  Resilience.spend b 1;
+  Resilience.spend b 1;
+  Alcotest.(check int) "failures recorded" 2 (Resilience.failures b);
+  Alcotest.(check bool) "remaining" true (Resilience.remaining b = Some 0);
+  (match Resilience.spend b 1 with
+  | () -> Alcotest.fail "third failure must exhaust the budget"
+  | exception Resilience.Budget_exhausted { failures; limit } ->
+    Alcotest.(check int) "failures" 3 failures;
+    Alcotest.(check int) "limit" 2 limit);
+  let u = Resilience.unlimited () in
+  Resilience.spend u 1_000_000;
+  Alcotest.(check bool) "unlimited never raises" true
+    (Resilience.remaining u = None)
+
 let suites =
   [
     ( "util.pool",
@@ -430,10 +533,21 @@ let suites =
         Alcotest.test_case "mapi order" `Quick test_pool_mapi_order;
         Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
         Alcotest.test_case "first failure wins" `Quick test_pool_first_failure_wins;
+        Alcotest.test_case "singleton failure wrapped" `Quick test_pool_singleton_failure_wrapped;
+        Alcotest.test_case "failure printer" `Quick test_pool_worker_failure_printer;
         Alcotest.test_case "chunk ranges" `Quick test_pool_chunk_ranges;
         Alcotest.test_case "chunks cover" `Quick test_pool_parallel_chunks_cover;
         Alcotest.test_case "nested sequential" `Quick test_pool_nested_stays_sequential;
         Alcotest.test_case "set_jobs floor" `Quick test_pool_set_jobs_floor;
+      ] );
+    ( "util.resilience",
+      [
+        Alcotest.test_case "first try" `Quick test_resilience_first_try;
+        Alcotest.test_case "retries then succeeds" `Quick test_resilience_retries_then_succeeds;
+        Alcotest.test_case "exhausts" `Quick test_resilience_exhausts;
+        Alcotest.test_case "fatal not retried" `Quick test_resilience_fatal_not_retried;
+        Alcotest.test_case "step clamps" `Quick test_resilience_step_clamps;
+        Alcotest.test_case "budget" `Quick test_resilience_budget;
       ] );
     ( "util.prng",
       [
@@ -461,6 +575,7 @@ let suites =
       [
         Alcotest.test_case "normal moments" `Quick test_normal_moments;
         Alcotest.test_case "truncated normal bounds" `Quick test_truncated_normal_bounds;
+        Alcotest.test_case "truncated normal unreachable window" `Quick test_truncated_normal_unreachable_window;
         Alcotest.test_case "power law shape" `Quick test_power_law_bounds_and_shape;
         Alcotest.test_case "discrete weights" `Quick test_discrete_weights;
         Alcotest.test_case "discrete cases normalized" `Quick test_discrete_cases_normalized;
