@@ -32,8 +32,9 @@ let () = Util.Pool.set_jobs jobs
 
 let config =
   if quick then
-    { Core.Pipeline.default_config with defects = 5_000; good_space_dies = 16 }
-  else Core.Pipeline.default_config
+    Core.Pipeline.Config.(
+      default |> with_defects 5_000 |> with_good_space_dies 16)
+  else Core.Pipeline.Config.default
 
 let banner title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -57,7 +58,8 @@ let comparator_experiments () =
      class list and later 10 000 000 for statistically significant
      magnitudes; we scale the same way (more spots, same classes). *)
   let t1_config =
-    if quick then config else { config with Core.Pipeline.defects = 200_000 }
+    if quick then config
+    else Core.Pipeline.Config.with_defects 200_000 config
   in
   let analysis, dt =
     seconds (fun () ->
@@ -146,7 +148,9 @@ let amplifier_experiment () =
   note
     "Sachdev's silicon experiment: most process defects in a Class AB@.\
      amplifier are detectable by simple DC, transient and AC measurements.@.";
-  let amp_config = if quick then { config with Core.Pipeline.defects = 5_000 } else config in
+  let amp_config =
+    if quick then Core.Pipeline.Config.with_defects 5_000 config else config
+  in
   let result, dt = seconds (fun () -> Amplifier.Study.run ~config:amp_config ()) in
   note "(%d classes analysed in %.1f s)@."
     (List.length result.Amplifier.Study.reports)
@@ -170,7 +174,7 @@ let ablation_sigma () =
         ]
   in
   let sweep sigma =
-    let cfg = { config with Core.Pipeline.sigma } in
+    let cfg = Core.Pipeline.Config.with_sigma sigma config in
     let a =
       Core.Pipeline.analyze cfg
         (Adc.Comparator.macro Adc.Comparator.default_options)
@@ -247,7 +251,7 @@ let ablation_near_miss () =
         near_miss_capacitance = capacitance;
       }
     in
-    let cfg = { config with Core.Pipeline.tech } in
+    let cfg = Core.Pipeline.Config.with_tech tech config in
     let a =
       Core.Pipeline.analyze cfg
         (Adc.Comparator.macro Adc.Comparator.default_options)
@@ -422,12 +426,10 @@ let parallel_scaling () =
      degraded run (injected convergence failures) must produce identical
      health counters and coverage bounds for any job count. *)
   let degraded_config =
-    {
-      config with
-      Core.Pipeline.defects = 2_000;
-      inject_failures = Some 0.2;
-      max_retries = 2;
-    }
+    Core.Pipeline.Config.(
+      config |> with_defects 2_000
+      |> with_inject_failures (Some 0.2)
+      |> with_max_retries 2)
   in
   let degraded j =
     Util.Pool.set_jobs j;
@@ -453,14 +455,20 @@ let parallel_scaling () =
 
 (* Per-stage wall-clock of the comparator pipeline as one JSON object on
    stdout: the perf trajectory future PRs compare against (BENCH_*.json).
-   Schema 2 adds the run-health counters of the resilience layer (all
-   zero on a clean run); stage times now come from the pipeline's own
-   instrumentation. *)
+   Schema 2 added the run-health counters of the resilience layer; schema 3
+   embeds the aggregated telemetry metrics (counter totals are
+   deterministic across job counts, so they diff cleanly between PRs)
+   and is emitted through Util.Json instead of printf. *)
 let json_run () =
   let macro = Adc.Comparator.macro Adc.Comparator.default_options in
   ignore (Lazy.force macro.Macro.Macro_cell.cell);
+  let memory = Util.Telemetry.in_memory () in
+  let traced_config =
+    Core.Pipeline.Config.with_telemetry (Util.Telemetry.memory_sink memory)
+      config
+  in
   let analysis, total_s =
-    seconds (fun () -> Core.Pipeline.analyze config macro)
+    seconds (fun () -> Core.Pipeline.analyze traced_config macro)
   in
   let health = analysis.Core.Pipeline.health in
   let stage name =
@@ -471,28 +479,65 @@ let json_run () =
     Testgen.Overlap.coverage
       (Testgen.Overlap.venn_of_partition (Testgen.Overlap.partition outcomes))
   in
-  Printf.printf
-    "{\"schema\":\"dotest-bench/2\",\"macro\":\"comparator\",\
-     \"mode\":\"%s\",\"jobs\":%d,\"seed\":%d,\"defects\":%d,\
-     \"effective\":%d,\"classes_catastrophic\":%d,\
-     \"classes_non_catastrophic\":%d,\
-     \"coverage_catastrophic\":%.6f,\"coverage_non_catastrophic\":%.6f,\
-     \"health\":{\"classes\":%d,\"retried\":%d,\"degraded\":%d,\
-     \"unresolved\":%d},\
-     \"stages\":{\"sprinkle_s\":%.6f,\"collapse_s\":%.6f,\
-     \"good_space_s\":%.6f,\"evaluate_s\":%.6f,\"total_s\":%.6f}}\n"
-    (if quick then "quick" else "full")
-    jobs config.Core.Pipeline.seed analysis.Core.Pipeline.sprinkled
-    analysis.Core.Pipeline.effective
-    (List.length analysis.Core.Pipeline.classes_catastrophic)
-    (List.length analysis.Core.Pipeline.classes_non_catastrophic)
-    (coverage analysis.Core.Pipeline.outcomes_catastrophic)
-    (coverage analysis.Core.Pipeline.outcomes_non_catastrophic)
-    health.Core.Pipeline.classes health.Core.Pipeline.retried
-    health.Core.Pipeline.degraded health.Core.Pipeline.unresolved
-    (stage "sprinkle") (stage "collapse") (stage "good-space")
-    (stage "evaluate-cat" +. stage "evaluate-ncat")
-    total_s
+  let m = Util.Telemetry.metrics memory in
+  let json =
+    Util.Json.Obj
+      [
+        "schema", Util.Json.String "dotest-bench/3";
+        "macro", Util.Json.String "comparator";
+        "mode", Util.Json.String (if quick then "quick" else "full");
+        "jobs", Util.Json.Int jobs;
+        "seed", Util.Json.Int config.Core.Pipeline.seed;
+        "defects", Util.Json.Int analysis.Core.Pipeline.sprinkled;
+        "effective", Util.Json.Int analysis.Core.Pipeline.effective;
+        ( "classes_catastrophic",
+          Util.Json.Int (List.length analysis.Core.Pipeline.classes_catastrophic)
+        );
+        ( "classes_non_catastrophic",
+          Util.Json.Int
+            (List.length analysis.Core.Pipeline.classes_non_catastrophic) );
+        ( "coverage_catastrophic",
+          Util.Json.Float
+            (coverage analysis.Core.Pipeline.outcomes_catastrophic) );
+        ( "coverage_non_catastrophic",
+          Util.Json.Float
+            (coverage analysis.Core.Pipeline.outcomes_non_catastrophic) );
+        ( "health",
+          Util.Json.Obj
+            [
+              "classes", Util.Json.Int health.Core.Pipeline.classes;
+              "retried", Util.Json.Int health.Core.Pipeline.retried;
+              "degraded", Util.Json.Int health.Core.Pipeline.degraded;
+              "unresolved", Util.Json.Int health.Core.Pipeline.unresolved;
+            ] );
+        ( "stages",
+          Util.Json.Obj
+            [
+              "sprinkle_s", Util.Json.Float (stage "sprinkle");
+              "collapse_s", Util.Json.Float (stage "collapse");
+              "good_space_s", Util.Json.Float (stage "good-space");
+              ( "evaluate_s",
+                Util.Json.Float (stage "evaluate-cat" +. stage "evaluate-ncat")
+              );
+              "total_s", Util.Json.Float total_s;
+            ] );
+        ( "metrics",
+          Util.Json.Obj
+            [
+              ( "counters",
+                Util.Json.Obj
+                  (List.map
+                     (fun (name, total) -> name, Util.Json.Int total)
+                     m.Util.Telemetry.Metrics.counters) );
+              ( "gauges",
+                Util.Json.Obj
+                  (List.map
+                     (fun (name, value) -> name, Util.Json.Float value)
+                     m.Util.Telemetry.Metrics.gauges) );
+            ] );
+      ]
+  in
+  print_endline (Util.Json.to_string json)
 
 (* ------------------------------------------------------------------ *)
 

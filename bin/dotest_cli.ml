@@ -10,18 +10,14 @@ let setup_logging verbose =
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
 let config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict ~failure_budget
-    ~inject_failures =
-  {
-    Core.Pipeline.default_config with
-    defects;
-    good_space_dies = dies;
-    sigma;
-    seed;
-    max_retries;
-    strict;
-    failure_budget;
-    inject_failures;
-  }
+    ~inject_failures ~telemetry =
+  Core.Pipeline.Config.(
+    default |> with_defects defects |> with_good_space_dies dies
+    |> with_sigma sigma |> with_seed seed |> with_max_retries max_retries
+    |> with_strict strict |> with_failure_budget failure_budget
+    |> with_inject_failures inject_failures |> with_telemetry telemetry)
+
+let defaults = Core.Pipeline.Config.default
 
 (* --- shared options ---------------------------------------------------- *)
 
@@ -40,26 +36,26 @@ let jobs =
 let defects =
   Arg.(
     value
-    & opt int Core.Pipeline.default_config.Core.Pipeline.defects
+    & opt int defaults.Core.Pipeline.defects
     & info [ "defects" ] ~docv:"N" ~doc:"Spot defects sprinkled per macro.")
 
 let dies =
   Arg.(
     value
-    & opt int Core.Pipeline.default_config.Core.Pipeline.good_space_dies
+    & opt int defaults.Core.Pipeline.good_space_dies
     & info [ "dies" ] ~docv:"N"
         ~doc:"Monte-Carlo dies compiled into the good-signature space.")
 
 let sigma =
   Arg.(
     value
-    & opt float Core.Pipeline.default_config.Core.Pipeline.sigma
+    & opt float defaults.Core.Pipeline.sigma
     & info [ "sigma" ] ~docv:"K" ~doc:"Acceptance window width in sigma.")
 
 let seed =
   Arg.(
     value
-    & opt int Core.Pipeline.default_config.Core.Pipeline.seed
+    & opt int defaults.Core.Pipeline.seed
     & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic experiment seed.")
 
 let dft =
@@ -79,7 +75,7 @@ let strict =
 let max_retries =
   Arg.(
     value
-    & opt int Core.Pipeline.default_config.Core.Pipeline.max_retries
+    & opt int defaults.Core.Pipeline.max_retries
     & info [ "max-retries" ] ~docv:"N"
         ~doc:
           "Escalated re-attempts after a convergence failure before a \
@@ -104,8 +100,65 @@ let inject_failures =
            simulations to fail convergence, exercising the containment and \
            retry paths.")
 
-let print_table title table =
-  Format.printf "@.== %s ==@.%s@." title (Util.Table.render table)
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.jsonl"
+        ~doc:
+          "Stream a telemetry trace to $(docv): one JSON object per line \
+           (spans with parent nesting and monotonic durations, counter \
+           deltas, gauges). Without this flag the null sink is installed \
+           and instrumentation costs nothing.")
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Aggregate telemetry counters in memory and print their totals \
+           after the run. Totals are deterministic: byte-identical for any \
+           $(b,--jobs) value.")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ "text", `Text; "json", `Json; "csv", `Csv ]) `Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Report rendering: $(b,text) (aligned tables, default), \
+              $(b,json) (array of row objects) or $(b,csv) (RFC 4180).")
+
+let print_table ~format title table =
+  Format.printf "@.== %s ==@.%s@." title (Core.Report.render ~format table)
+
+(* Build the run's sink from --trace/--metrics; [f] gets the sink (to put
+   in the config) and the in-memory aggregate to print afterwards. The
+   trace channel is also closed via [at_exit] so a run that dies through
+   [handle_failures]'s [exit 3] still flushes its buffered events. *)
+let with_telemetry ~trace ~metrics f =
+  let memory = if metrics then Some (Util.Telemetry.in_memory ()) else None in
+  let channel = Option.map open_out trace in
+  Option.iter (fun oc -> at_exit (fun () -> close_out_noerr oc)) channel;
+  let sink =
+    Util.Telemetry.multi
+      ((match memory with
+       | Some m -> [ Util.Telemetry.memory_sink m ]
+       | None -> [])
+      @
+      match channel with
+      | Some oc -> [ Util.Telemetry.jsonl oc ]
+      | None -> [])
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter close_out_noerr channel)
+    (fun () -> f sink memory)
+
+let print_metrics ~format memory =
+  Option.iter
+    (fun m ->
+      print_table ~format "Telemetry metrics"
+        (Core.Report.metrics (Util.Telemetry.metrics m)))
+    memory
 
 (* Pool failures arrive wrapped (possibly twice: macro fan-out around the
    per-class fan-out); report the innermost cause, which carries the
@@ -122,9 +175,9 @@ let handle_failures f =
     Format.eprintf "dotest: %s@." (Printexc.to_string (root_cause e));
     exit 3
 
-let print_health analyses =
+let print_health ~format analyses =
   let health = Core.Pipeline.run_health analyses in
-  print_table "Run health" (Core.Report.run_health health);
+  print_table ~format "Run health" (Core.Report.run_health health);
   if Logs.level () = Some Logs.Info then
     List.iter
       (fun (m : Core.Pipeline.macro_health) ->
@@ -139,12 +192,13 @@ let print_health analyses =
 
 let comparator_cmd =
   let run verbose jobs defects dies sigma seed dft strict max_retries
-      failure_budget inject_failures =
+      failure_budget inject_failures trace metrics format =
     setup_logging verbose;
     Util.Pool.set_jobs jobs;
+    with_telemetry ~trace ~metrics @@ fun sink memory ->
     let config =
       config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict
-        ~failure_budget ~inject_failures
+        ~failure_budget ~inject_failures ~telemetry:sink
     in
     let options =
       if dft then Adc.Comparator.dft_options else Adc.Comparator.default_options
@@ -153,29 +207,34 @@ let comparator_cmd =
       handle_failures (fun () ->
           Core.Pipeline.analyze config (Adc.Comparator.macro options))
     in
-    print_table "Table 1: catastrophic faults and fault classes"
+    print_table ~format "Table 1: catastrophic faults and fault classes"
       (Core.Report.table1 analysis);
-    print_table "Table 2: voltage fault signatures" (Core.Report.table2 analysis);
-    print_table "Table 3: current fault signatures" (Core.Report.table3 analysis);
-    print_table "Fig. 3: detectability of catastrophic faults"
+    print_table ~format "Table 2: voltage fault signatures"
+      (Core.Report.table2 analysis);
+    print_table ~format "Table 3: current fault signatures"
+      (Core.Report.table3 analysis);
+    print_table ~format "Fig. 3: detectability of catastrophic faults"
       (Core.Report.figure3 analysis);
-    print_health [ analysis ]
+    print_health ~format [ analysis ];
+    print_metrics ~format memory
   in
   Cmd.v
     (Cmd.info "comparator"
        ~doc:"Run the defect-oriented test path for the comparator macro.")
     Term.(
       const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ dft $ strict
-      $ max_retries $ failure_budget $ inject_failures)
+      $ max_retries $ failure_budget $ inject_failures $ trace $ metrics_flag
+      $ format_arg)
 
 let global_cmd =
   let run verbose jobs defects dies sigma seed dft strict max_retries
-      failure_budget inject_failures =
+      failure_budget inject_failures trace metrics format =
     setup_logging verbose;
     Util.Pool.set_jobs jobs;
+    with_telemetry ~trace ~metrics @@ fun sink memory ->
     let config =
       config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict
-        ~failure_budget ~inject_failures
+        ~failure_budget ~inject_failures ~telemetry:sink
     in
     let measures = if dft then Dft.Measures.all_measures else [] in
     let macros = Dft.Measures.macro_set ~measures in
@@ -183,44 +242,52 @@ let global_cmd =
       handle_failures (fun () -> Core.Pipeline.analyze_all config macros)
     in
     let g = Core.Global.combine analyses in
-    print_table
+    print_table ~format
       (if dft then "Fig. 5: global detectability after DfT"
        else "Fig. 4: global detectability")
       (Core.Report.figure4 g);
-    print_table "Per-macro current detectability" (Core.Report.macro_current g);
-    print_table "Summary" (Core.Report.summary g);
-    print_health analyses;
-    print_table "Coverage bounds" (Core.Report.coverage_bounds g)
+    print_table ~format "Per-macro current detectability"
+      (Core.Report.macro_current g);
+    print_table ~format "Summary" (Core.Report.summary g);
+    print_health ~format analyses;
+    print_table ~format "Coverage bounds" (Core.Report.coverage_bounds g);
+    print_metrics ~format memory
   in
   Cmd.v
     (Cmd.info "global"
        ~doc:"Run all five macros and the global scaling step.")
     Term.(
       const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ dft $ strict
-      $ max_retries $ failure_budget $ inject_failures)
+      $ max_retries $ failure_budget $ inject_failures $ trace $ metrics_flag
+      $ format_arg)
 
 let dft_cmd =
-  let run verbose jobs defects dies sigma seed =
+  let run verbose jobs defects dies sigma seed trace metrics format =
     setup_logging verbose;
     Util.Pool.set_jobs jobs;
+    with_telemetry ~trace ~metrics @@ fun sink memory ->
     let config =
       config_of ~defects ~dies ~sigma ~seed
-        ~max_retries:Core.Pipeline.default_config.Core.Pipeline.max_retries
+        ~max_retries:defaults.Core.Pipeline.max_retries
         ~strict:false ~failure_budget:None ~inject_failures:None
+        ~telemetry:sink
     in
     let original, improved = Dft.Measures.compare_coverage ~config () in
-    print_table "Fig. 4: before DfT" (Core.Report.figure4 original);
-    print_table "Fig. 5: after DfT" (Core.Report.figure4 improved);
+    print_table ~format "Fig. 4: before DfT" (Core.Report.figure4 original);
+    print_table ~format "Fig. 5: after DfT" (Core.Report.figure4 improved);
     Format.printf "@.DfT measures applied:@.";
     List.iter
       (fun m -> Format.printf "  - %s@." (Dft.Measures.describe m))
       Dft.Measures.all_measures;
     Format.printf "@.General mixed-signal DfT guidelines:@.";
-    List.iter (fun g -> Format.printf "  * %s@." g) Dft.Measures.guidelines
+    List.iter (fun g -> Format.printf "  * %s@." g) Dft.Measures.guidelines;
+    print_metrics ~format memory
   in
   Cmd.v
     (Cmd.info "dft" ~doc:"Compare coverage before and after the DfT measures.")
-    Term.(const run $ verbose $ jobs $ defects $ dies $ sigma $ seed)
+    Term.(
+      const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ trace
+      $ metrics_flag $ format_arg)
 
 let ramp_cmd =
   let run samples =

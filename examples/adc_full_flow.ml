@@ -13,7 +13,7 @@ let () =
     "Flash ADC full flow: 256 comparators, dual reference ladder, bias@.\
      generator, clock generator and thermometer decoder.@.";
 
-  let config = Core.Pipeline.default_config in
+  let config = Core.Pipeline.Config.default in
 
   section "per-macro analysis";
   let macros = Dft.Measures.original () in

@@ -18,7 +18,7 @@ let () =
      the converter's area, and the cell where analog meets digital.@.";
 
   let macro = Adc.Comparator.macro Adc.Comparator.default_options in
-  let config = { Core.Pipeline.default_config with defects = 25_000 } in
+  let config = Core.Pipeline.Config.(default |> with_defects 25_000) in
 
   section "macro cell";
   let cell = Lazy.force macro.Macro.Macro_cell.cell in

@@ -120,7 +120,8 @@ let () =
   List.iter (fun (name, v) -> Format.printf "  %-14s %10.4g@." name v) golden;
 
   let config =
-    { Core.Pipeline.default_config with defects = 20_000; good_space_dies = 24 }
+    Core.Pipeline.Config.(
+      default |> with_defects 20_000 |> with_good_space_dies 24)
   in
   let analysis = Core.Pipeline.analyze config macro in
   Format.printf "@.%s@." (Util.Table.render (Core.Report.table1 analysis));

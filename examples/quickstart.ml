@@ -108,7 +108,8 @@ let () =
 
   (* Steps 3-5 are packaged by the pipeline. *)
   let config =
-    { Core.Pipeline.default_config with defects = 20_000; good_space_dies = 24 }
+    Core.Pipeline.Config.(
+      default |> with_defects 20_000 |> with_good_space_dies 24)
   in
   let analysis = Core.Pipeline.analyze config macro in
   Format.printf "sprinkled %d spot defects; %d were effective@."

@@ -13,7 +13,7 @@ let families_of_deviations names =
   |> List.sort_uniq compare
   |> fun found -> List.filter (fun f -> List.mem f found) Class_ab.all_families
 
-let run ?(config = Core.Pipeline.default_config) () =
+let run ?(config = Core.Pipeline.Config.default) () =
   let macro = Class_ab.macro () in
   let analysis = Core.Pipeline.analyze config macro in
   let nominal =

@@ -282,8 +282,20 @@ let solve_point_diag ~options ~mode ~t compiled x0 ~what =
       spent := !spent + options.max_iterations;
       None
   in
+  (* Iteration counters are buffered per domain by Telemetry; their totals
+     are scheduling-independent because every solve counts the same spend
+     regardless of which worker ran it. *)
+  let finish x fallback =
+    Util.Telemetry.count "engine.solves";
+    Util.Telemetry.count ~by:!spent "newton_iterations";
+    (match fallback with
+    | Plain_newton -> ()
+    | Gmin_stepping -> Util.Telemetry.count "engine.fallback_gmin"
+    | Source_stepping -> Util.Telemetry.count "engine.fallback_source");
+    x, { iterations = !spent; fallback }
+  in
   match try_newton ~options ~alpha:1.0 x0 with
-  | Some x -> x, { iterations = !spent; fallback = Plain_newton }
+  | Some x -> finish x Plain_newton
   | None ->
     (* gmin stepping: solve heavily shunted, then relax toward gmin. *)
     let rec gmin_steps x = function
@@ -295,7 +307,7 @@ let solve_point_diag ~options ~mode ~t compiled x0 ~what =
     in
     let schedule = [ 1e-2; 1e-4; 1e-6; 1e-8; 1e-10; options.gmin ] in
     (match gmin_steps x0 schedule with
-    | Some x -> x, { iterations = !spent; fallback = Gmin_stepping }
+    | Some x -> finish x Gmin_stepping
     | None ->
       (* Source stepping: ramp all sources from 10 % to 100 %. *)
       let rec source_steps x = function
@@ -307,8 +319,12 @@ let solve_point_diag ~options ~mode ~t compiled x0 ~what =
       in
       let alphas = [ 0.1; 0.3; 0.5; 0.7; 0.9; 1.0 ] in
       (match source_steps (Array.make compiled.n_unknowns 0.0) alphas with
-      | Some x -> x, { iterations = !spent; fallback = Source_stepping }
-      | None -> raise (No_convergence what)))
+      | Some x -> finish x Source_stepping
+      | None ->
+        Util.Telemetry.count "engine.solves";
+        Util.Telemetry.count ~by:!spent "newton_iterations";
+        Util.Telemetry.count "engine.no_convergence";
+        raise (No_convergence what)))
 
 let solve_point ~options ~mode ~t compiled x0 ~what =
   fst (solve_point_diag ~options ~mode ~t compiled x0 ~what)

@@ -123,7 +123,7 @@ let parse_models lines =
         | _ -> acc))
     (Ok []) lines
 
-let parse text =
+let parse_string text =
   let raw_lines = String.split_on_char '\n' text in
   let cards =
     List.mapi (fun i l -> i + 1, String.trim l) raw_lines
@@ -272,6 +272,14 @@ let parse text =
     (match List.fold_left parse_card (Ok ()) device_cards with
     | Ok () -> Ok nl
     | Error e -> Error e)
+
+(* Every internal error is "line N: …"; the public entry point prefixes
+   the source name so a message from a multi-file flow says which netlist
+   it came from ("ladder.cir: line 12: …"). *)
+let parse ?(source = "<string>") text =
+  Result.map_error
+    (fun e -> Printf.sprintf "%s: %s" source e)
+    (parse_string text)
 
 (* --- printer ------------------------------------------------------------ *)
 

@@ -22,10 +22,12 @@
     Parsing is case-insensitive for keywords and suffixes but preserves
     node and device-name case. *)
 
-(** [parse text] builds a netlist.
-    Returns [Error message] (with a line number) on malformed input,
-    unknown model references, or duplicate definitions. *)
-val parse : string -> (Netlist.t, string) result
+(** [parse ?source text] builds a netlist.
+    Returns [Error message] on malformed input, unknown model references,
+    or duplicate definitions; the message carries [source] (a file name,
+    default ["<string>"]) and the offending line number, e.g.
+    ["ladder.cir: line 12: duplicate device \"R1\""]. *)
+val parse : ?source:string -> string -> (Netlist.t, string) result
 
 (** [to_string netlist] renders a netlist that [parse] accepts;
     [parse (to_string nl)] is electrically equivalent to [nl] (same

@@ -1,4 +1,48 @@
-type config = {
+module Config = struct
+  type t = {
+    tech : Process.Tech.t;
+    stats : Process.Defect_stats.t;
+    defects : int;
+    good_space_dies : int;
+    sigma : float;
+    seed : int;
+    max_retries : int;
+    strict : bool;
+    failure_budget : int option;
+    inject_failures : float option;
+    telemetry : Util.Telemetry.sink;
+  }
+
+  let default =
+    {
+      tech = Process.Tech.cmos1um;
+      stats = Process.Defect_stats.default;
+      defects = 25_000;
+      good_space_dies = 48;
+      sigma = 3.0;
+      seed = 1995;
+      max_retries = 1;
+      strict = false;
+      failure_budget = None;
+      inject_failures = None;
+      telemetry = Util.Telemetry.null;
+    }
+
+  let with_tech tech config = { config with tech }
+  let with_stats stats config = { config with stats }
+  let with_defects defects config = { config with defects }
+  let with_good_space_dies good_space_dies config = { config with good_space_dies }
+  let with_sigma sigma config = { config with sigma }
+  let with_seed seed config = { config with seed }
+  let with_max_retries max_retries config = { config with max_retries }
+  let with_strict strict config = { config with strict }
+  let with_failure_budget failure_budget config = { config with failure_budget }
+  let with_inject_failures inject_failures config =
+    { config with inject_failures }
+  let with_telemetry telemetry config = { config with telemetry }
+end
+
+type config = Config.t = {
   tech : Process.Tech.t;
   stats : Process.Defect_stats.t;
   defects : int;
@@ -9,21 +53,10 @@ type config = {
   strict : bool;
   failure_budget : int option;
   inject_failures : float option;
+  telemetry : Util.Telemetry.sink;
 }
 
-let default_config =
-  {
-    tech = Process.Tech.cmos1um;
-    stats = Process.Defect_stats.default;
-    defects = 25_000;
-    good_space_dies = 48;
-    sigma = 3.0;
-    seed = 1995;
-    max_retries = 1;
-    strict = false;
-    failure_budget = None;
-    inject_failures = None;
-  }
+let default_config = Config.default
 
 type macro_health = {
   macro_name : string;
@@ -108,9 +141,27 @@ let injection_of config =
     (fun fraction -> { Macro.Evaluate.seed = config.seed; fraction })
     config.inject_failures
 
+(* Install the config's sink only at the outermost pipeline entry: when
+   [analyze] runs inside a pool worker of [analyze_all], the ambient sink
+   is already this very sink and must not be re-installed (with_sink is
+   not reentrant from worker domains). *)
+let install_sink config f =
+  let sink = config.telemetry in
+  if Util.Telemetry.is_null sink || Util.Telemetry.sink () == sink then f ()
+  else Util.Telemetry.with_sink sink f
+
 let analyze config (macro : Macro.Macro_cell.t) =
+  install_sink config @@ fun () ->
+  Util.Telemetry.with_span
+    ~attrs:[ "macro", Util.Telemetry.String macro.Macro.Macro_cell.name ]
+    "pipeline.macro"
+  @@ fun () ->
   let stage_seconds = ref [] in
   let timed stage f =
+    Util.Telemetry.with_span
+      ~attrs:[ "stage", Util.Telemetry.String stage ]
+      "pipeline.stage"
+    @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let result = f () in
     stage_seconds := (stage, Unix.gettimeofday () -. t0) :: !stage_seconds;
@@ -168,6 +219,12 @@ let analyze config (macro : Macro.Macro_cell.t) =
            macro.Macro.Macro_cell.name health.retried health.degraded
            health.unresolved));
   check_budget config ~unresolved:health.unresolved;
+  Util.Telemetry.count "macros_analyzed";
+  Util.Telemetry.add_span_attrs
+    [
+      "classes", Util.Telemetry.Int health.classes;
+      "unresolved", Util.Telemetry.Int health.unresolved;
+    ];
   {
     macro;
     sprinkled = defect_result.Defect.Simulate.sprinkled;
@@ -181,6 +238,11 @@ let analyze config (macro : Macro.Macro_cell.t) =
   }
 
 let analyze_all config macros =
+  install_sink config @@ fun () ->
+  Util.Telemetry.with_span
+    ~attrs:[ "macros", Util.Telemetry.Int (List.length macros) ]
+    "pipeline.run"
+  @@ fun () ->
   (* Force every layout before the fan-out: lazies must not be forced
      concurrently, and the same macro value may appear more than once. *)
   List.iter

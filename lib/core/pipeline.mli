@@ -11,27 +11,73 @@
     run. Per-macro health counters roll up into a {!run_health} record
     whose counters are byte-identical across {!Util.Pool} job counts. *)
 
-type config = {
+(** Pipeline configuration as a value: build one with {!Config.default}
+    and the [with_*] setters, pass it to {!analyze} / {!analyze_all}.
+
+    {[
+      let config =
+        Core.Pipeline.Config.(
+          default |> with_defects 5_000 |> with_seed 42 |> with_strict true)
+    ]} *)
+module Config : sig
+  type t = {
+    tech : Process.Tech.t;
+    stats : Process.Defect_stats.t;
+    defects : int;        (** spots sprinkled per macro *)
+    good_space_dies : int;  (** Monte-Carlo dies for the good space *)
+    sigma : float;        (** acceptance window width, in σ *)
+    seed : int;
+    max_retries : int;
+        (** escalated re-attempts after a convergence failure (default 1) *)
+    strict : bool;
+        (** fail fast on the first unresolved class instead of containing
+            it (default [false]) *)
+    failure_budget : int option;
+        (** abort the run once more than this many classes end unresolved;
+            checked on merged, ordered results so the outcome is identical
+            for any job count (default [None] = unlimited) *)
+    inject_failures : float option;
+        (** test hook: force this fraction of fault-class simulations to
+            raise [No_convergence] deterministically (default [None]) *)
+    telemetry : Util.Telemetry.sink;
+        (** observability sink installed for the duration of {!analyze} /
+            {!analyze_all}; {!Util.Telemetry.null} (the default) leaves
+            the ambient sink untouched and costs nothing *)
+  }
+
+  val default : t
+
+  val with_tech : Process.Tech.t -> t -> t
+  val with_stats : Process.Defect_stats.t -> t -> t
+  val with_defects : int -> t -> t
+  val with_good_space_dies : int -> t -> t
+  val with_sigma : float -> t -> t
+  val with_seed : int -> t -> t
+  val with_max_retries : int -> t -> t
+  val with_strict : bool -> t -> t
+  val with_failure_budget : int option -> t -> t
+  val with_inject_failures : float option -> t -> t
+  val with_telemetry : Util.Telemetry.sink -> t -> t
+end
+
+(** Deprecated spelling of {!Config.t}, kept for one release so existing
+    record-literal call sites keep compiling; new code should use
+    {!Config.default} and the setters (see DESIGN.md §9). *)
+type config = Config.t = {
   tech : Process.Tech.t;
   stats : Process.Defect_stats.t;
-  defects : int;        (** spots sprinkled per macro *)
-  good_space_dies : int;  (** Monte-Carlo dies for the good space *)
-  sigma : float;        (** acceptance window width, in σ *)
+  defects : int;
+  good_space_dies : int;
+  sigma : float;
   seed : int;
   max_retries : int;
-      (** escalated re-attempts after a convergence failure (default 1) *)
   strict : bool;
-      (** fail fast on the first unresolved class instead of containing it
-          (default [false]) *)
   failure_budget : int option;
-      (** abort the run once more than this many classes end unresolved;
-          checked on merged, ordered results so the outcome is identical
-          for any job count (default [None] = unlimited) *)
   inject_failures : float option;
-      (** test hook: force this fraction of fault-class simulations to
-          raise [No_convergence] deterministically (default [None]) *)
+  telemetry : Util.Telemetry.sink;
 }
 
+(** Deprecated alias of {!Config.default} (one release, see DESIGN.md §9). *)
 val default_config : config
 
 (** Containment counters for one macro, plus stage wall-clock times.

@@ -246,3 +246,28 @@ let summary (g : Global.t) =
       Printf.sprintf "%.0f us" (Testgen.Test_time.total *. 1e6);
     ];
   t
+
+let metrics (m : Util.Telemetry.Metrics.t) =
+  let t =
+    Util.Table.create
+      ~columns:[ "counter", Util.Table.Left; "total", Util.Table.Right ]
+  in
+  List.iter
+    (fun (name, total) -> Util.Table.add_row t [ name; string_of_int total ])
+    m.Util.Telemetry.Metrics.counters;
+  (match m.Util.Telemetry.Metrics.gauges with
+  | [] -> ()
+  | gauges ->
+    Util.Table.add_separator t;
+    List.iter
+      (fun (name, value) ->
+        Util.Table.add_row t
+          [ name ^ " (max)"; Util.Table.cell_float ~decimals:1 value ])
+      gauges);
+  t
+
+let render ~format table =
+  match format with
+  | `Text -> Util.Table.render table
+  | `Json -> Util.Table.render_json table
+  | `Csv -> Util.Table.render_csv table

@@ -36,3 +36,15 @@ val run_health : Pipeline.run_health -> Util.Table.t
 (** Pessimistic / as-reported / optimistic coverage per severity (see
     {!Global.coverage_bounds}). On a clean run all three columns agree. *)
 val coverage_bounds : Global.t -> Util.Table.t
+
+(** Aggregated telemetry: one row per counter total, then the gauge
+    high-water marks. Counter totals are deterministic across job counts;
+    durations never appear here. *)
+val metrics : Util.Telemetry.Metrics.t -> Util.Table.t
+
+(** [render ~format table] is the single rendering entry point behind the
+    CLI's [--format {text,json,csv}]: every report artefact above is a
+    {!Util.Table.t}, so one call covers coverage, bounds, run-health and
+    metrics alike. [`Text] is {!Util.Table.render}, [`Json] an array of
+    row objects keyed by column title, [`Csv] RFC-4180. *)
+val render : format:[ `Text | `Json | `Csv ] -> Util.Table.t -> string

@@ -444,7 +444,26 @@ let run ?jobs ~tech ~stats ~cell ~netlist prng ~n =
     done;
     !effective, List.rev !instances
   in
-  let per_chunk = Util.Pool.parallel_map ?jobs sprinkle_chunk streams in
+  let per_chunk =
+    Util.Pool.parallel_mapi ?jobs
+      (fun chunk stream ->
+        Util.Telemetry.with_span
+          ~attrs:
+            [
+              "chunk", Util.Telemetry.Int chunk;
+              "draws", Util.Telemetry.Int (snd stream);
+            ]
+          "sprinkle.chunk"
+        @@ fun () ->
+        let (effective, instances) as result = sprinkle_chunk stream in
+        Util.Telemetry.count ~by:(snd stream) "samples_drawn";
+        Util.Telemetry.count ~by:effective "defects_effective";
+        Util.Telemetry.count ~by:(List.length instances) "fault_instances";
+        Util.Telemetry.add_span_attrs
+          [ "effective", Util.Telemetry.Int effective ];
+        result)
+      streams
+  in
   let effective = List.fold_left (fun acc (e, _) -> acc + e) 0 per_chunk in
   let instances = List.concat_map snd per_chunk in
   Log.info (fun m ->

@@ -28,7 +28,7 @@ let macro_set ~measures =
 let original () = macro_set ~measures:[]
 let improved () = macro_set ~measures:all_measures
 
-let compare_coverage ?(config = Core.Pipeline.default_config) () =
+let compare_coverage ?(config = Core.Pipeline.Config.default) () =
   let run macros =
     Core.Global.combine (Core.Pipeline.analyze_all config macros)
   in

@@ -119,9 +119,41 @@ let run ?jobs ?retries ?inject ?(strict = false) ~(macro : Macro_cell.t) ~good
   let golden = macro.Macro_cell.measure nominal in
   Util.Pool.parallel_mapi ?jobs
     (fun index fc ->
+      Util.Telemetry.with_span
+        ~attrs:
+          [
+            "class", Util.Telemetry.Int index;
+            "weight", Util.Telemetry.Int fc.Fault.Collapse.count;
+          ]
+        "evaluate.class"
+      @@ fun () ->
       let outcome =
         evaluate_class ?retries ?inject ~index ~macro ~nominal ~good ~golden fc
       in
+      Util.Telemetry.count "classes_simulated";
+      (* Resolution status and escalation depth are attached to the span,
+         so a trace answers "which classes needed the ladder" directly. *)
+      (let status, attempts =
+         match outcome.status with
+         | Converged -> "converged", 1
+         | Recovered { attempts } -> "recovered", attempts
+         | Unresolved { attempts; _ } -> "unresolved", attempts
+       in
+       let escalation = attempts - 1 in
+       if escalation > 0 then begin
+         Util.Telemetry.count ~by:escalation "retries";
+         Util.Telemetry.gauge "escalation_level" (float_of_int escalation)
+       end;
+       (match outcome.status with
+       | Converged -> ()
+       | Recovered _ -> Util.Telemetry.count "classes_recovered"
+       | Unresolved _ -> Util.Telemetry.count "classes_unresolved");
+       Util.Telemetry.add_span_attrs
+         [
+           "status", Util.Telemetry.String status;
+           "attempts", Util.Telemetry.Int attempts;
+           "escalation", Util.Telemetry.Int escalation;
+         ]);
       (match outcome.status with
       | Unresolved { attempts; error } when strict ->
         raise (Simulation_failed { index; attempts; error })

@@ -1,0 +1,263 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printer ----------------------------------------------------------- *)
+
+let escape_to buffer s =
+  Buffer.add_char buffer '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | '\b' -> Buffer.add_string buffer "\\b"
+      | '\012' -> Buffer.add_string buffer "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"'
+
+(* Shortest decimal representation that parses back to the same double:
+   keeps traces readable (0.1, not 0.1000000000000000055…) without losing
+   a bit. *)
+let float_repr v =
+  if Float.is_integer v && Float.abs v < 1e16 then Printf.sprintf "%.1f" v
+  else
+    let short = Printf.sprintf "%.12g" v in
+    if float_of_string short = v then short else Printf.sprintf "%.17g" v
+
+let rec emit buffer = function
+  | Null -> Buffer.add_string buffer "null"
+  | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+  | Int i -> Buffer.add_string buffer (string_of_int i)
+  | Float v ->
+    if Float.is_finite v then Buffer.add_string buffer (float_repr v)
+    else Buffer.add_string buffer "null"
+  | String s -> escape_to buffer s
+  | List items ->
+    Buffer.add_char buffer '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buffer ',';
+        emit buffer item)
+      items;
+    Buffer.add_char buffer ']'
+  | Obj fields ->
+    Buffer.add_char buffer '{';
+    List.iteri
+      (fun i (key, item) ->
+        if i > 0 then Buffer.add_char buffer ',';
+        escape_to buffer key;
+        Buffer.add_char buffer ':';
+        emit buffer item)
+      fields;
+    Buffer.add_char buffer '}'
+
+let to_string v =
+  let buffer = Buffer.create 256 in
+  emit buffer v;
+  Buffer.contents buffer
+
+(* --- parser ------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let of_string text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let fail fmt =
+    Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "offset %d: %s" !pos m))) fmt
+  in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | Some d -> fail "expected %C, got %C" c d
+    | None -> fail "expected %C, got end of input" c
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub text !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail "bad literal"
+  in
+  let parse_string () =
+    expect '"';
+    let buffer = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match text.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape"
+           else
+             match text.[!pos] with
+             | '"' -> Buffer.add_char buffer '"'
+             | '\\' -> Buffer.add_char buffer '\\'
+             | '/' -> Buffer.add_char buffer '/'
+             | 'n' -> Buffer.add_char buffer '\n'
+             | 'r' -> Buffer.add_char buffer '\r'
+             | 't' -> Buffer.add_char buffer '\t'
+             | 'b' -> Buffer.add_char buffer '\b'
+             | 'f' -> Buffer.add_char buffer '\012'
+             | 'u' ->
+               if !pos + 4 >= n then fail "bad \\u escape";
+               let hex = String.sub text (!pos + 1) 4 in
+               let code =
+                 match int_of_string_opt ("0x" ^ hex) with
+                 | Some c -> c
+                 | None -> fail "bad \\u escape %S" hex
+               in
+               (* Encode the code point as UTF-8 (surrogates are kept as
+                  replacement chars; the printer never emits them). *)
+               if code < 0x80 then Buffer.add_char buffer (Char.chr code)
+               else if code < 0x800 then begin
+                 Buffer.add_char buffer (Char.chr (0xC0 lor (code lsr 6)));
+                 Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+               end
+               else begin
+                 Buffer.add_char buffer (Char.chr (0xE0 lor (code lsr 12)));
+                 Buffer.add_char buffer
+                   (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                 Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+               end;
+               pos := !pos + 4
+             | c -> fail "bad escape \\%C" c);
+          advance ();
+          loop ()
+        | c ->
+          Buffer.add_char buffer c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents buffer
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && number_char text.[!pos] do
+      advance ()
+    done;
+    let s = String.sub text start (!pos - start) in
+    let is_float =
+      String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s
+    in
+    if is_float then
+      match float_of_string_opt s with
+      | Some v -> Float v
+      | None -> fail "bad number %S" s
+    else
+      match int_of_string_opt s with
+      | Some v -> Int v
+      | None -> (
+        match float_of_string_opt s with
+        | Some v -> Float v
+        | None -> fail "bad number %S" s)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        List (items [])
+      end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos < n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error m -> Error m
+
+(* --- accessors --------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_float = function Float v -> Some v | Int i -> Some (float_of_int i) | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_str = function String s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None
+let to_obj = function Obj o -> Some o | _ -> None

@@ -1,0 +1,39 @@
+(** Minimal JSON tree, printer and parser.
+
+    The observability layer streams JSONL traces and the bench harness
+    emits machine-readable results; both need strict, dependency-free
+    JSON. The subset is complete for round-tripping what this library
+    writes: objects keep their field order, integers print without a
+    decimal point, and floats are printed with the shortest
+    representation that parses back to the identical double. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string v] renders [v] on one line (no trailing newline). Strings
+    are escaped per RFC 8259; non-finite floats render as [null]. *)
+val to_string : t -> string
+
+(** [of_string text] parses one JSON value (surrounding whitespace is
+    allowed; trailing non-whitespace is an error). Numbers without
+    [.], [e] or [E] become [Int]; everything else becomes [Float]. *)
+val of_string : string -> (t, string) result
+
+(** [member key v] — the field [key] of object [v], if present. *)
+val member : string -> t -> t option
+
+(** Coercions; [None] when the value has a different shape. [to_float]
+    accepts [Int] too. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

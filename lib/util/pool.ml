@@ -43,6 +43,14 @@ let apply_wrapped f i x =
     Printexc.raise_with_backtrace (Worker_failure (i, e)) bt
 
 let parallel_mapi ?jobs:requested f xs =
+  (* Pool bookkeeping counters are recorded on every execution path —
+     sequential, degraded and parallel — so their totals are a function of
+     the call structure only, never of the job count. *)
+  (match xs with
+  | [] -> ()
+  | _ ->
+    Telemetry.count "pool.maps";
+    Telemetry.count ~by:(List.length xs) "pool.items");
   match xs with
   | [] -> []
   | [ x ] -> [ apply_wrapped f 0 x ]
@@ -55,8 +63,16 @@ let parallel_mapi ?jobs:requested f xs =
       let results = Array.make n None in
       let failures = Array.make n None in
       let next = Atomic.make 0 in
-      let worker () =
-        Domain.DLS.set inside_worker true;
+      Telemetry.with_span
+        ~attrs:[ "items", Telemetry.Int n; "workers", Telemetry.Int workers ]
+        "pool.map"
+      @@ fun () ->
+      (* Spans opened inside spawned workers nest under this map span;
+         span durations give per-worker busy time, the map-span duration
+         minus a worker's busy time is its queue/idle share. *)
+      let map_span = Telemetry.current_span () in
+      let worker_loop () =
+        let processed = ref 0 in
         let rec loop () =
           let i = Atomic.fetch_and_add next 1 in
           if i < n then begin
@@ -64,12 +80,24 @@ let parallel_mapi ?jobs:requested f xs =
             | v -> results.(i) <- Some v
             | exception e ->
               failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+            incr processed;
             loop ()
           end
         in
-        loop ()
+        loop ();
+        Telemetry.add_span_attrs [ "items", Telemetry.Int !processed ]
       in
-      let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+      let worker ~index () =
+        Domain.DLS.set inside_worker true;
+        Telemetry.with_span
+          ~attrs:[ "worker", Telemetry.Int index ]
+          "pool.worker" worker_loop
+      in
+      let spawned =
+        Array.init (workers - 1) (fun i ->
+            Domain.spawn (fun () ->
+                Telemetry.in_span map_span (worker ~index:(i + 1))))
+      in
       (* The calling domain works too; restore its flag afterwards so later
          top-level calls still parallelise. *)
       let was_inside = Domain.DLS.get inside_worker in
@@ -77,7 +105,7 @@ let parallel_mapi ?jobs:requested f xs =
         ~finally:(fun () ->
           Domain.DLS.set inside_worker was_inside;
           Array.iter Domain.join spawned)
-        worker;
+        (worker ~index:0);
       Array.iteri
         (fun i -> function
           | Some (e, bt) ->

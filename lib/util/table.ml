@@ -61,5 +61,41 @@ let render t =
 
 let pp ppf t = Format.pp_print_string ppf (render t)
 
+let columns t = List.map fst t.columns
+
+let row_cells t =
+  List.filter_map
+    (function Cells c -> Some c | Separator -> None)
+    (List.rev t.rows)
+
+(* RFC 4180: quote a field iff it contains a comma, quote or newline;
+   quotes are doubled. *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let render_csv t =
+  let line cells = String.concat "," (List.map csv_field cells) in
+  String.concat "\n" (line (columns t) :: List.map line (row_cells t))
+
+(* One object per row, keyed by column title; cells stay strings — the
+   table layer formats, it does not retain the underlying numbers. *)
+let to_json t =
+  let headers = columns t in
+  Json.List
+    (List.map
+       (fun cells ->
+         Json.Obj
+           (List.mapi
+              (fun i title ->
+                ( title,
+                  Json.String (Option.value ~default:"" (List.nth_opt cells i))
+                ))
+              headers))
+       (row_cells t))
+
+let render_json t = Json.to_string (to_json t)
+
 let cell_float ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v
 let cell_pct ?(decimals = 1) v = Printf.sprintf "%.*f%%" decimals v

@@ -23,6 +23,30 @@ val render : t -> string
 
 val pp : Format.formatter -> t -> unit
 
+(** {1 Structured access and alternative renderings}
+
+    These views drive the [--format {text,json,csv}] front end: every
+    report is a {!t}, so one renderer per format covers them all. *)
+
+(** [columns t] — the column titles, in order. *)
+val columns : t -> string list
+
+(** [row_cells t] — the data rows in insertion order, separators
+    dropped. *)
+val row_cells : t -> string list list
+
+(** [render_csv t] — RFC-4180 CSV: a header line then one line per data
+    row; fields containing commas, quotes or newlines are quoted. *)
+val render_csv : t -> string
+
+(** [to_json t] — an array of objects, one per data row, keyed by column
+    title. Cells remain strings: the table layer formats values, it does
+    not retain the numbers behind them. *)
+val to_json : t -> Json.t
+
+(** [render_json t] = [Json.to_string (to_json t)]. *)
+val render_json : t -> string
+
 (** [cell_float ?decimals v] formats a float cell ([decimals] defaults
     to 1). *)
 val cell_float : ?decimals:int -> float -> string

@@ -53,7 +53,8 @@ let study =
   lazy
     (Amplifier.Study.run
        ~config:
-         { Core.Pipeline.default_config with defects = 8_000; good_space_dies = 16 }
+         Core.Pipeline.Config.(
+           default |> with_defects 8_000 |> with_good_space_dies 16)
        ())
 
 let test_study_shape () =

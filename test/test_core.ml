@@ -5,11 +5,7 @@
    be filtered with ALCOTEST_QUICK_TESTS). *)
 
 let small_config =
-  {
-    Core.Pipeline.default_config with
-    defects = 4_000;
-    good_space_dies = 12;
-  }
+  Core.Pipeline.Config.(default |> with_defects 4_000 |> with_good_space_dies 12)
 
 let comparator_analysis =
   lazy
@@ -82,7 +78,7 @@ let test_pipeline_jobs_invariant () =
 let test_pipeline_seed_changes_results () =
   let a = Lazy.force comparator_analysis in
   let b =
-    Core.Pipeline.analyze { small_config with Core.Pipeline.seed = 77 }
+    Core.Pipeline.analyze (Core.Pipeline.Config.with_seed 77 small_config)
       (Adc.Comparator.macro Adc.Comparator.default_options)
   in
   (* Different defect placement: almost surely different instance count. *)
@@ -122,7 +118,7 @@ let test_pipeline_comparator_shape () =
 (* --- resilience / run health ------------------------------------------ *)
 
 let injected_config =
-  { small_config with Core.Pipeline.inject_failures = Some 0.2 }
+  Core.Pipeline.Config.with_inject_failures (Some 0.2) small_config
 
 let injected_analysis =
   lazy
@@ -217,7 +213,7 @@ let test_pipeline_clean_bounds_collapse () =
 let test_pipeline_strict_fails_fast () =
   match
     Core.Pipeline.analyze
-      { injected_config with Core.Pipeline.strict = true }
+      (Core.Pipeline.Config.with_strict true injected_config)
       (Adc.Comparator.macro Adc.Comparator.default_options)
   with
   | _ -> Alcotest.fail "strict injected run must raise"
@@ -229,7 +225,7 @@ let test_pipeline_strict_fails_fast () =
 let test_pipeline_failure_budget () =
   match
     Core.Pipeline.analyze
-      { injected_config with Core.Pipeline.failure_budget = Some 0 }
+      (Core.Pipeline.Config.with_failure_budget (Some 0) injected_config)
       (Adc.Comparator.macro Adc.Comparator.default_options)
   with
   | _ -> Alcotest.fail "zero budget must be exhausted"
@@ -244,6 +240,180 @@ let test_run_health_report_renders () =
     a.Core.Pipeline.health.Core.Pipeline.unresolved;
   let s = Util.Table.render (Core.Report.run_health health) in
   Alcotest.(check bool) "renders" true (String.length s > 50)
+
+(* --- telemetry --------------------------------------------------------- *)
+
+let telemetry_config =
+  Core.Pipeline.Config.(
+    small_config |> with_defects 2_000 |> with_good_space_dies 8)
+
+(* Run one analysis with an In_memory sink at a given worker count and
+   return the aggregated metrics. Durations never enter the aggregate,
+   so the result must not depend on [jobs]. *)
+let metrics_with_jobs ~config jobs =
+  let saved = Util.Pool.jobs () in
+  Util.Pool.set_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Util.Pool.set_jobs saved)
+    (fun () ->
+      let memory = Util.Telemetry.in_memory () in
+      let config =
+        Core.Pipeline.Config.with_telemetry
+          (Util.Telemetry.memory_sink memory)
+          config
+      in
+      let _ =
+        Core.Pipeline.analyze config
+          (Adc.Comparator.macro Adc.Comparator.default_options)
+      in
+      Util.Telemetry.metrics memory)
+
+let check_metrics_jobs_invariant config =
+  let a = metrics_with_jobs ~config 1 in
+  let b = metrics_with_jobs ~config 4 in
+  (* Compare through the user-facing rendering: byte-identical tables. *)
+  let render m = Core.Report.render ~format:`Text (Core.Report.metrics m) in
+  Alcotest.(check string) "byte-identical metrics" (render a) (render b);
+  Alcotest.(check bool) "counters present" true
+    (List.mem_assoc "newton_iterations" a.Util.Telemetry.Metrics.counters
+    && List.mem_assoc "classes_simulated" a.Util.Telemetry.Metrics.counters
+    && List.mem_assoc "samples_drawn" a.Util.Telemetry.Metrics.counters)
+
+let test_telemetry_counters_jobs_invariant_clean () =
+  check_metrics_jobs_invariant telemetry_config
+
+let test_telemetry_counters_jobs_invariant_injected () =
+  let config =
+    Core.Pipeline.Config.with_inject_failures (Some 0.2) telemetry_config
+  in
+  let a = metrics_with_jobs ~config 1 in
+  check_metrics_jobs_invariant config;
+  Alcotest.(check bool) "retries counted" true
+    (match List.assoc_opt "retries" a.Util.Telemetry.Metrics.counters with
+    | Some n -> n > 0
+    | None -> false);
+  Alcotest.(check bool) "escalation gauge kept" true
+    (match
+       List.assoc_opt "escalation_level" a.Util.Telemetry.Metrics.gauges
+     with
+    | Some v -> v >= 1.0
+    | None -> false)
+
+let test_telemetry_jsonl_roundtrip () =
+  let path = Filename.temp_file "dotest_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          let config =
+            Core.Pipeline.Config.with_telemetry
+              (Util.Telemetry.jsonl oc)
+              telemetry_config
+          in
+          let _ =
+            Core.Pipeline.analyze config
+              (Adc.Comparator.macro Adc.Comparator.default_options)
+          in
+          ());
+      let lines =
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let rec go acc =
+              match input_line ic with
+              | line -> go (line :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            go [])
+      in
+      Alcotest.(check bool) "trace non-empty" true (List.length lines > 10);
+      (* Every line must parse back into an event. *)
+      let events =
+        List.map
+          (fun line ->
+            match Util.Telemetry.event_of_json (line |> fun s ->
+              match Util.Json.of_string s with
+              | Ok j -> j
+              | Error e -> Alcotest.failf "bad json line: %s" e)
+            with
+            | Ok e -> e
+            | Error e -> Alcotest.failf "bad event: %s" e)
+          lines
+      in
+      (* Spans balance and nest: every end has a start, every parent is a
+         known span id, and pipeline.stage spans sit under pipeline.macro. *)
+      let starts = Hashtbl.create 64 in
+      List.iter
+        (function
+          | Util.Telemetry.Span_start { id; name; _ } ->
+            Hashtbl.replace starts id name
+          | _ -> ())
+        events;
+      let ends =
+        List.filter_map
+          (function
+            | Util.Telemetry.Span_end { id; parent; name; _ } ->
+              Some (id, parent, name)
+            | _ -> None)
+          events
+      in
+      Alcotest.(check int) "starts balance ends" (Hashtbl.length starts)
+        (List.length ends);
+      List.iter
+        (fun (id, parent, name) ->
+          Alcotest.(check bool) "end has start" true (Hashtbl.mem starts id);
+          (match parent with
+          | None -> ()
+          | Some p ->
+            Alcotest.(check bool) "parent known" true (Hashtbl.mem starts p));
+          if name = "pipeline.stage" then
+            match parent with
+            | Some p ->
+              Alcotest.(check string) "stage under macro" "pipeline.macro"
+                (Hashtbl.find starts p)
+            | None -> Alcotest.fail "pipeline.stage must have a parent")
+        ends;
+      Alcotest.(check bool) "has a pipeline.macro span" true
+        (Hashtbl.fold (fun _ n acc -> acc || n = "pipeline.macro") starts false))
+
+(* --- report formats ---------------------------------------------------- *)
+
+let test_report_render_formats_golden () =
+  let t =
+    Util.Table.create
+      ~columns:[ "metric", Util.Table.Left; "value, n", Util.Table.Right ]
+  in
+  Util.Table.add_row t [ "alpha"; "1" ];
+  Util.Table.add_row t [ "b \"q\""; "2,5" ];
+  Alcotest.(check string) "text"
+    "+--------+----------+\n\
+     | metric | value, n |\n\
+     +--------+----------+\n\
+     | alpha  |        1 |\n\
+     | b \"q\"  |      2,5 |\n\
+     +--------+----------+"
+    (Core.Report.render ~format:`Text t);
+  Alcotest.(check string) "csv"
+    "metric,\"value, n\"\nalpha,1\n\"b \"\"q\"\"\",\"2,5\""
+    (Core.Report.render ~format:`Csv t);
+  Alcotest.(check string) "json"
+    "[{\"metric\":\"alpha\",\"value, n\":\"1\"},{\"metric\":\"b \\\"q\\\"\",\"value, n\":\"2,5\"}]"
+    (Core.Report.render ~format:`Json t)
+
+let test_report_metrics_table () =
+  let m = metrics_with_jobs ~config:telemetry_config 2 in
+  let text = Core.Report.render ~format:`Text (Core.Report.metrics m) in
+  Alcotest.(check bool) "mentions newton_iterations" true
+    (let needle = "newton_iterations" in
+     let n = String.length needle and h = String.length text in
+     let rec scan i =
+       i + n <= h && (String.sub text i n = needle || scan (i + 1))
+     in
+     scan 0)
 
 let global_pair =
   lazy
@@ -340,9 +510,21 @@ let suites =
         Alcotest.test_case "coverage sane" `Slow test_global_coverage_sane;
         Alcotest.test_case "DfT improves coverage" `Slow test_dft_improves_coverage;
       ] );
+    ( "core.telemetry",
+      [
+        Alcotest.test_case "counters jobs-invariant (clean)" `Slow
+          test_telemetry_counters_jobs_invariant_clean;
+        Alcotest.test_case "counters jobs-invariant (injected)" `Slow
+          test_telemetry_counters_jobs_invariant_injected;
+        Alcotest.test_case "jsonl trace round-trips" `Slow
+          test_telemetry_jsonl_roundtrip;
+      ] );
     ( "core.report",
       [
         Alcotest.test_case "reports render" `Slow test_reports_render;
+        Alcotest.test_case "render formats golden" `Quick
+          test_report_render_formats_golden;
+        Alcotest.test_case "metrics table" `Slow test_report_metrics_table;
         Alcotest.test_case "guidelines" `Quick test_dft_guidelines_exist;
       ] );
   ]

@@ -88,11 +88,22 @@ let test_parse_malformed_suffix_line () =
 
 let test_parse_duplicate_device () =
   (* Re-using a device name must be a parse Error with the right line,
-     not an uncaught Invalid_argument from the netlist builder. *)
+     not an uncaught Invalid_argument from the netlist builder. Errors
+     also carry the source name ("<string>" when none is given). *)
   let e = parse_err "R1 a 0 1k\nR1 b 0 2k\n" in
   Alcotest.(check bool) "names the duplicate" true
     (contains e "duplicate device");
-  Alcotest.(check bool) "mentions line 2" true (contains e "line 2")
+  Alcotest.(check bool) "mentions line 2" true (contains e "line 2");
+  Alcotest.(check bool) "carries default source" true (contains e "<string>")
+
+let test_parse_error_carries_source_name () =
+  let e =
+    match Spice.parse ~source:"ladder.cir" "R1 a 0 1k\nR1 b 0 2k\n" with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail "expected parse error"
+  in
+  Alcotest.(check bool) "mentions the file" true (contains e "ladder.cir");
+  Alcotest.(check bool) "still mentions the line" true (contains e "line 2")
 
 let test_parse_unknown_model_line_number () =
   let e = parse_err "R1 a 0 1k\nR2 a b 2k\nM1 d g s 0 NOPE W=1u L=1u\n" in
@@ -194,6 +205,8 @@ let suites =
         Alcotest.test_case "duplicate model" `Quick test_parse_duplicate_model;
         Alcotest.test_case "malformed suffix line" `Quick test_parse_malformed_suffix_line;
         Alcotest.test_case "duplicate device" `Quick test_parse_duplicate_device;
+        Alcotest.test_case "error carries source name" `Quick
+          test_parse_error_carries_source_name;
         Alcotest.test_case "unknown model line" `Quick test_parse_unknown_model_line_number;
         Alcotest.test_case "unsupported card" `Quick test_parse_unsupported_card;
         Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blanks;

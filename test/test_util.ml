@@ -293,6 +293,159 @@ let test_table_cells () =
   Alcotest.(check string) "pct decimals" "93%" (Table.cell_pct ~decimals:0 93.3);
   Alcotest.(check string) "float" "1.50" (Table.cell_float ~decimals:2 1.5)
 
+let test_table_csv_quoting () =
+  let t =
+    Table.create ~columns:[ "metric", Table.Left; "value, n", Table.Right ]
+  in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b \"q\""; "2,5" ];
+  Alcotest.(check string) "csv"
+    "metric,\"value, n\"\nalpha,1\n\"b \"\"q\"\"\",\"2,5\""
+    (Table.render_csv t)
+
+let test_table_json_rows () =
+  let t = Table.create ~columns:[ "a", Table.Left; "b", Table.Right ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "y" ] (* short row pads with an empty cell *);
+  Alcotest.(check string) "json"
+    "[{\"a\":\"x\",\"b\":\"1\"},{\"a\":\"y\",\"b\":\"\"}]"
+    (Table.render_json t)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_print_parse_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        "s", Json.String "a \"b\"\n\t";
+        "i", Json.Int (-42);
+        "f", Json.Float 0.1;
+        "t", Json.Bool true;
+        "n", Json.Null;
+        "l", Json.List [ Json.Int 1; Json.Float 2.5; Json.Obj [] ];
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok parsed -> Alcotest.(check bool) "round-trips" true (parsed = v)
+  | Error e -> Alcotest.fail e
+
+let test_json_parse_basics () =
+  Alcotest.(check bool) "ws + nesting" true
+    (Json.of_string " { \"a\" : [ 1 , true , \"x\" ] } "
+    = Ok (Json.Obj [ "a", Json.List [ Json.Int 1; Json.Bool true; Json.String "x" ] ]));
+  Alcotest.(check bool) "unicode escape" true
+    (Json.of_string "\"\\u0041\"" = Ok (Json.String "A"));
+  Alcotest.(check bool) "float vs int" true
+    (Json.of_string "[1, 1.5, 1e2]"
+    = Ok (Json.List [ Json.Int 1; Json.Float 1.5; Json.Float 100.0 ]))
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.of_string s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "trailing garbage" true (bad "1 x");
+  Alcotest.(check bool) "unterminated string" true (bad "\"abc");
+  Alcotest.(check bool) "bare word" true (bad "nope");
+  Alcotest.(check bool) "unclosed object" true (bad "{\"a\":1")
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_telemetry_null_is_free () =
+  (* With the null sink every instrumentation call is a plain passthrough. *)
+  Alcotest.(check bool) "disabled" false (Telemetry.enabled ());
+  Telemetry.count "never";
+  Telemetry.gauge "never" 1.0;
+  Alcotest.(check int) "with_span is f()" 7
+    (Telemetry.with_span "s" (fun () -> 7));
+  Alcotest.(check bool) "no current span" true (Telemetry.current_span () = None)
+
+let test_telemetry_in_memory_aggregates () =
+  let memory = Telemetry.in_memory () in
+  Telemetry.with_sink (Telemetry.memory_sink memory) (fun () ->
+      Telemetry.with_span "outer" (fun () ->
+          Telemetry.count "hits";
+          Telemetry.count ~by:4 "hits";
+          Telemetry.gauge "level" 2.0;
+          Telemetry.gauge "level" 5.0;
+          Telemetry.gauge "level" 3.0;
+          Telemetry.with_span "inner" (fun () -> Telemetry.count "hits")));
+  let m = Telemetry.metrics memory in
+  Alcotest.(check bool) "counter summed" true
+    (List.assoc_opt "hits" m.Telemetry.Metrics.counters = Some 6);
+  Alcotest.(check bool) "gauge keeps max" true
+    (List.assoc_opt "level" m.Telemetry.Metrics.gauges = Some 5.0)
+
+let test_telemetry_span_nesting_and_error () =
+  (* Collect raw events; check parent links and the error attribute. *)
+  let events = ref [] in
+  let sink =
+    { Telemetry.emit = (fun e -> events := e :: !events); flush = ignore }
+  in
+  (try
+     Telemetry.with_sink sink (fun () ->
+         Telemetry.with_span "outer" (fun () ->
+             Telemetry.with_span "inner" (fun () -> failwith "boom")))
+   with Failure _ -> ());
+  let events = List.rev !events in
+  let span_parent name =
+    List.find_map
+      (function
+        | Telemetry.Span_start { name = n; id; parent; _ } when n = name ->
+          Some (id, parent)
+        | _ -> None)
+      events
+  in
+  let outer_id, outer_parent = Option.get (span_parent "outer") in
+  let _, inner_parent = Option.get (span_parent "inner") in
+  Alcotest.(check bool) "outer is a root" true (outer_parent = None);
+  Alcotest.(check bool) "inner under outer" true (inner_parent = Some outer_id);
+  let errored name =
+    List.exists
+      (function
+        | Telemetry.Span_end { name = n; attrs; _ } when n = name ->
+          List.mem ("error", Telemetry.Bool true) attrs
+        | _ -> false)
+      events
+  in
+  Alcotest.(check bool) "inner errored" true (errored "inner");
+  Alcotest.(check bool) "outer errored" true (errored "outer");
+  Alcotest.(check bool) "ambient restored" false (Telemetry.enabled ())
+
+let test_telemetry_event_json_roundtrip () =
+  let samples =
+    [
+      Telemetry.Span_start { id = 3; parent = None; name = "a"; wall = 1.5 };
+      Telemetry.Span_start { id = 4; parent = Some 3; name = "b"; wall = 2.5 };
+      Telemetry.Span_end
+        {
+          id = 4;
+          parent = Some 3;
+          name = "b";
+          attrs =
+            [
+              "k", Telemetry.Int 1;
+              "s", Telemetry.String "x";
+              "f", Telemetry.Float 0.25;
+              "b", Telemetry.Bool false;
+            ];
+          wall = 3.5;
+          duration_ns = 123_456_789L;
+        };
+      Telemetry.Counter { name = "c"; delta = 7; span = Some 4 };
+      Telemetry.Gauge { name = "g"; value = 2.0; span = None };
+    ]
+  in
+  List.iter
+    (fun event ->
+      match Telemetry.event_of_json (Telemetry.event_to_json event) with
+      | Ok decoded -> Alcotest.(check bool) "round-trips" true (decoded = event)
+      | Error e -> Alcotest.fail e)
+    samples
+
 (* ------------------------------------------------------------------ *)
 (* QCheck properties                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -595,6 +748,25 @@ let suites =
         Alcotest.test_case "render" `Quick test_table_render;
         Alcotest.test_case "alignment" `Quick test_table_alignment;
         Alcotest.test_case "cell formatting" `Quick test_table_cells;
+        Alcotest.test_case "csv quoting" `Quick test_table_csv_quoting;
+        Alcotest.test_case "json rows" `Quick test_table_json_rows;
+      ] );
+    ( "util.json",
+      [
+        Alcotest.test_case "print/parse round-trip" `Quick
+          test_json_print_parse_roundtrip;
+        Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+        Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+      ] );
+    ( "util.telemetry",
+      [
+        Alcotest.test_case "null sink is free" `Quick test_telemetry_null_is_free;
+        Alcotest.test_case "in-memory aggregates" `Quick
+          test_telemetry_in_memory_aggregates;
+        Alcotest.test_case "span nesting and error" `Quick
+          test_telemetry_span_nesting_and_error;
+        Alcotest.test_case "event json round-trip" `Quick
+          test_telemetry_event_json_roundtrip;
       ] );
     "util.properties", List.map QCheck_alcotest.to_alcotest qcheck_props;
   ]
