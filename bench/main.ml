@@ -10,7 +10,9 @@
      --jobs N        worker domains (default: cores-1, min 1; DOTEST_JOBS)
      --json          emit per-stage timings of the comparator pipeline as
                      one JSON object on stdout and exit (machine-readable
-                     perf trajectory; nothing else is printed)           *)
+                     perf trajectory; nothing else is printed)
+     --cache DIR     persist per-macro results under DIR; a warm --json
+                     run reports cache "warm" with nonzero hits           *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let timings = Array.exists (( = ) "--timings") Sys.argv
@@ -28,13 +30,23 @@ let jobs =
   in
   scan 1
 
+let cache =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--cache" then
+      Some (Util.Cache.create ~dir:Sys.argv.(i + 1) ~version:Core.Codec.version ())
+    else scan (i + 1)
+  in
+  scan 1
+
 let () = Util.Pool.set_jobs jobs
 
 let config =
-  if quick then
-    Core.Pipeline.Config.(
-      default |> with_defects 5_000 |> with_good_space_dies 16)
-  else Core.Pipeline.Config.default
+  (if quick then
+     Core.Pipeline.Config.(
+       default |> with_defects 5_000 |> with_good_space_dies 16)
+   else Core.Pipeline.Config.default)
+  |> Core.Pipeline.Config.with_cache_handle cache
 
 let banner title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -456,9 +468,11 @@ let parallel_scaling () =
 (* Per-stage wall-clock of the comparator pipeline as one JSON object on
    stdout: the perf trajectory future PRs compare against (BENCH_*.json).
    Schema 2 added the run-health counters of the resilience layer; schema 3
-   embeds the aggregated telemetry metrics (counter totals are
+   embedded the aggregated telemetry metrics (counter totals are
    deterministic across job counts, so they diff cleanly between PRs)
-   and is emitted through Util.Json instead of printf. *)
+   and moved emission to Util.Json; schema 4 adds the result-cache counters
+   ("cache": state cold|warm|off plus hits/misses/stale/evictions) and
+   emits metrics through Core.Codec, the library's single JSON surface. *)
 let json_run () =
   let macro = Adc.Comparator.macro Adc.Comparator.default_options in
   ignore (Lazy.force macro.Macro.Macro_cell.cell);
@@ -480,14 +494,23 @@ let json_run () =
       (Testgen.Overlap.venn_of_partition (Testgen.Overlap.partition outcomes))
   in
   let m = Util.Telemetry.metrics memory in
+  let cache_json =
+    match cache with
+    | None -> Core.Codec.cache_stats_to_json ~state:`Off Util.Cache.no_stats
+    | Some c ->
+      let s = Util.Cache.stats c in
+      Core.Codec.cache_stats_to_json
+        ~state:(Core.Report.cache_state s :> [ `Cold | `Warm | `Off ])
+        s
+  in
   let json =
     Util.Json.Obj
       [
-        "schema", Util.Json.String "dotest-bench/3";
+        "schema", Util.Json.String "dotest-bench/4";
         "macro", Util.Json.String "comparator";
         "mode", Util.Json.String (if quick then "quick" else "full");
         "jobs", Util.Json.Int jobs;
-        "seed", Util.Json.Int config.Core.Pipeline.seed;
+        "seed", Util.Json.Int config.Core.Pipeline.Config.seed;
         "defects", Util.Json.Int analysis.Core.Pipeline.sprinkled;
         "effective", Util.Json.Int analysis.Core.Pipeline.effective;
         ( "classes_catastrophic",
@@ -521,20 +544,8 @@ let json_run () =
               );
               "total_s", Util.Json.Float total_s;
             ] );
-        ( "metrics",
-          Util.Json.Obj
-            [
-              ( "counters",
-                Util.Json.Obj
-                  (List.map
-                     (fun (name, total) -> name, Util.Json.Int total)
-                     m.Util.Telemetry.Metrics.counters) );
-              ( "gauges",
-                Util.Json.Obj
-                  (List.map
-                     (fun (name, value) -> name, Util.Json.Float value)
-                     m.Util.Telemetry.Metrics.gauges) );
-            ] );
+        "cache", cache_json;
+        "metrics", Core.Codec.metrics_to_json m;
       ]
   in
   print_endline (Util.Json.to_string json)

@@ -10,12 +10,13 @@ let setup_logging verbose =
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
 let config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict ~failure_budget
-    ~inject_failures ~telemetry =
+    ~inject_failures ~telemetry ~cache =
   Core.Pipeline.Config.(
     default |> with_defects defects |> with_good_space_dies dies
     |> with_sigma sigma |> with_seed seed |> with_max_retries max_retries
     |> with_strict strict |> with_failure_budget failure_budget
-    |> with_inject_failures inject_failures |> with_telemetry telemetry)
+    |> with_inject_failures inject_failures |> with_telemetry telemetry
+    |> with_cache_handle cache)
 
 let defaults = Core.Pipeline.Config.default
 
@@ -36,26 +37,26 @@ let jobs =
 let defects =
   Arg.(
     value
-    & opt int defaults.Core.Pipeline.defects
+    & opt int defaults.Core.Pipeline.Config.defects
     & info [ "defects" ] ~docv:"N" ~doc:"Spot defects sprinkled per macro.")
 
 let dies =
   Arg.(
     value
-    & opt int defaults.Core.Pipeline.good_space_dies
+    & opt int defaults.Core.Pipeline.Config.good_space_dies
     & info [ "dies" ] ~docv:"N"
         ~doc:"Monte-Carlo dies compiled into the good-signature space.")
 
 let sigma =
   Arg.(
     value
-    & opt float defaults.Core.Pipeline.sigma
+    & opt float defaults.Core.Pipeline.Config.sigma
     & info [ "sigma" ] ~docv:"K" ~doc:"Acceptance window width in sigma.")
 
 let seed =
   Arg.(
     value
-    & opt int defaults.Core.Pipeline.seed
+    & opt int defaults.Core.Pipeline.Config.seed
     & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic experiment seed.")
 
 let dft =
@@ -75,7 +76,7 @@ let strict =
 let max_retries =
   Arg.(
     value
-    & opt int defaults.Core.Pipeline.max_retries
+    & opt int defaults.Core.Pipeline.Config.max_retries
     & info [ "max-retries" ] ~docv:"N"
         ~doc:
           "Escalated re-attempts after a convergence failure before a \
@@ -120,6 +121,30 @@ let metrics_flag =
            after the run. Totals are deterministic: byte-identical for any \
            $(b,--jobs) value.")
 
+let cache_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR" ~env:(Cmd.Env.info "DOTEST_CACHE")
+        ~doc:
+          "Persist per-macro analysis results under $(docv) and reuse them \
+           on later runs whose inputs are unchanged. A warm run prints the \
+           same coverage tables, health counters and bounds byte-for-byte \
+           as the cold run, for any $(b,--jobs) value.")
+
+let no_cache =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Ignore $(b,--cache) and $(b,DOTEST_CACHE); run uncached.")
+
+let cache_handle ~cache_dir ~no_cache =
+  if no_cache then None
+  else
+    Option.map
+      (fun dir -> Util.Cache.create ~dir ~version:Core.Codec.version ())
+      cache_dir
+
 let format_arg =
   Arg.(
     value
@@ -152,6 +177,13 @@ let with_telemetry ~trace ~metrics f =
   Fun.protect
     ~finally:(fun () -> Option.iter close_out_noerr channel)
     (fun () -> f sink memory)
+
+let print_cache_stats ~format cache =
+  Option.iter
+    (fun c ->
+      print_table ~format "Result cache"
+        (Core.Report.cache_stats (Util.Cache.stats c)))
+    cache
 
 let print_metrics ~format memory =
   Option.iter
@@ -192,13 +224,14 @@ let print_health ~format analyses =
 
 let comparator_cmd =
   let run verbose jobs defects dies sigma seed dft strict max_retries
-      failure_budget inject_failures trace metrics format =
+      failure_budget inject_failures trace metrics cache_dir no_cache format =
     setup_logging verbose;
     Util.Pool.set_jobs jobs;
     with_telemetry ~trace ~metrics @@ fun sink memory ->
+    let cache = cache_handle ~cache_dir ~no_cache in
     let config =
       config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict
-        ~failure_budget ~inject_failures ~telemetry:sink
+        ~failure_budget ~inject_failures ~telemetry:sink ~cache
     in
     let options =
       if dft then Adc.Comparator.dft_options else Adc.Comparator.default_options
@@ -216,6 +249,7 @@ let comparator_cmd =
     print_table ~format "Fig. 3: detectability of catastrophic faults"
       (Core.Report.figure3 analysis);
     print_health ~format [ analysis ];
+    print_cache_stats ~format cache;
     print_metrics ~format memory
   in
   Cmd.v
@@ -224,17 +258,18 @@ let comparator_cmd =
     Term.(
       const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ dft $ strict
       $ max_retries $ failure_budget $ inject_failures $ trace $ metrics_flag
-      $ format_arg)
+      $ cache_dir $ no_cache $ format_arg)
 
 let global_cmd =
   let run verbose jobs defects dies sigma seed dft strict max_retries
-      failure_budget inject_failures trace metrics format =
+      failure_budget inject_failures trace metrics cache_dir no_cache format =
     setup_logging verbose;
     Util.Pool.set_jobs jobs;
     with_telemetry ~trace ~metrics @@ fun sink memory ->
+    let cache = cache_handle ~cache_dir ~no_cache in
     let config =
       config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict
-        ~failure_budget ~inject_failures ~telemetry:sink
+        ~failure_budget ~inject_failures ~telemetry:sink ~cache
     in
     let measures = if dft then Dft.Measures.all_measures else [] in
     let macros = Dft.Measures.macro_set ~measures in
@@ -251,6 +286,7 @@ let global_cmd =
     print_table ~format "Summary" (Core.Report.summary g);
     print_health ~format analyses;
     print_table ~format "Coverage bounds" (Core.Report.coverage_bounds g);
+    print_cache_stats ~format cache;
     print_metrics ~format memory
   in
   Cmd.v
@@ -259,18 +295,20 @@ let global_cmd =
     Term.(
       const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ dft $ strict
       $ max_retries $ failure_budget $ inject_failures $ trace $ metrics_flag
-      $ format_arg)
+      $ cache_dir $ no_cache $ format_arg)
 
 let dft_cmd =
-  let run verbose jobs defects dies sigma seed trace metrics format =
+  let run verbose jobs defects dies sigma seed trace metrics cache_dir no_cache
+      format =
     setup_logging verbose;
     Util.Pool.set_jobs jobs;
     with_telemetry ~trace ~metrics @@ fun sink memory ->
+    let cache = cache_handle ~cache_dir ~no_cache in
     let config =
       config_of ~defects ~dies ~sigma ~seed
-        ~max_retries:defaults.Core.Pipeline.max_retries
+        ~max_retries:defaults.Core.Pipeline.Config.max_retries
         ~strict:false ~failure_budget:None ~inject_failures:None
-        ~telemetry:sink
+        ~telemetry:sink ~cache
     in
     let original, improved = Dft.Measures.compare_coverage ~config () in
     print_table ~format "Fig. 4: before DfT" (Core.Report.figure4 original);
@@ -281,13 +319,14 @@ let dft_cmd =
       Dft.Measures.all_measures;
     Format.printf "@.General mixed-signal DfT guidelines:@.";
     List.iter (fun g -> Format.printf "  * %s@." g) Dft.Measures.guidelines;
+    print_cache_stats ~format cache;
     print_metrics ~format memory
   in
   Cmd.v
     (Cmd.info "dft" ~doc:"Compare coverage before and after the DfT measures.")
     Term.(
       const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ trace
-      $ metrics_flag $ format_arg)
+      $ metrics_flag $ cache_dir $ no_cache $ format_arg)
 
 let ramp_cmd =
   let run samples =

@@ -17,7 +17,8 @@ let run ?(config = Core.Pipeline.Config.default) () =
   let macro = Class_ab.macro () in
   let analysis = Core.Pipeline.analyze config macro in
   let nominal =
-    macro.Macro.Macro_cell.build (Process.Variation.nominal config.tech)
+    macro.Macro.Macro_cell.build
+      (Process.Variation.nominal config.Core.Pipeline.Config.tech)
   in
   let report fc =
     let faulty =

@@ -18,8 +18,8 @@ type result = {
 }
 
 (** [run ?config ()] — the full study (defaults to
-    {!Core.Pipeline.default_config}). *)
-val run : ?config:Core.Pipeline.config -> unit -> result
+    {!Core.Pipeline.Config.default}). *)
+val run : ?config:Core.Pipeline.Config.t -> unit -> result
 
 (** Magnitude-weighted share of faults each family detects. *)
 val family_coverage : result -> (Class_ab.family * float) list

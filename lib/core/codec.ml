@@ -1,0 +1,574 @@
+module J = Util.Json
+
+type 'a decoder = J.t -> ('a, string) result
+
+(* Bump whenever simulation semantics or any encoding below changes:
+   every previously written cache entry then reads as stale. *)
+let version = "dotest-codec/1"
+
+(* --- decoder plumbing --------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let error_at what json =
+  Error (Printf.sprintf "%s, got %s" what (J.to_string json))
+
+let field name json =
+  match J.member name json with
+  | Some v -> Ok v
+  | None -> error_at (Printf.sprintf "expected field %S" name) json
+
+let as_int json =
+  match J.to_int json with
+  | Some n -> Ok n
+  | None -> error_at "expected an integer" json
+
+let as_float json =
+  match J.to_float json with
+  | Some x -> Ok x
+  | None -> error_at "expected a number" json
+
+let as_str json =
+  match J.to_str json with
+  | Some s -> Ok s
+  | None -> error_at "expected a string" json
+
+let int_field name json = Result.bind (field name json) as_int
+let float_field name json = Result.bind (field name json) as_float
+let str_field name json = Result.bind (field name json) as_str
+
+(* [Float] must survive exactly; [Json] already prints the shortest
+   representation that parses back to the identical double, but an
+   integral float would print as an [Int] and decode as one, which
+   [to_float] accepts — so floats round-trip through [as_float]. *)
+let list_of dec json =
+  match J.to_list json with
+  | None -> error_at "expected a list" json
+  | Some items ->
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest ->
+        (match dec item with
+        | Ok v -> go (i + 1) (v :: acc) rest
+        | Error e -> Error (Printf.sprintf "element %d: %s" i e))
+    in
+    go 0 [] items
+
+let list_field name dec json = Result.bind (field name json) (list_of dec)
+
+(* Optional float field encoded as absence. *)
+let opt_float_field name json =
+  match J.member name json with
+  | None | Some J.Null -> Ok None
+  | Some v ->
+    let* x = as_float v in
+    Ok (Some x)
+
+(* An enumeration keyed by a naming function. *)
+let enum ~what ~name_of all =
+  let encode v = J.String (name_of v) in
+  let decode json =
+    let* s = as_str json in
+    match List.find_opt (fun v -> name_of v = s) all with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "unknown %s %S" what s)
+  in
+  encode, decode
+
+(* --- signatures --------------------------------------------------------- *)
+
+let voltage_to_json, voltage_of_json =
+  enum ~what:"voltage signature" ~name_of:Macro.Signature.voltage_name
+    Macro.Signature.all_voltage
+
+let current_kind_to_json, current_kind_of_json =
+  enum ~what:"current kind" ~name_of:Macro.Signature.current_name
+    Macro.Signature.all_current
+
+let signature_to_json (s : Macro.Signature.t) =
+  J.Obj
+    [
+      "voltage", voltage_to_json s.Macro.Signature.voltage;
+      "currents", J.List (List.map current_kind_to_json s.Macro.Signature.currents);
+    ]
+
+let signature_of_json json =
+  let* voltage = Result.bind (field "voltage" json) voltage_of_json in
+  let* currents = list_field "currents" current_kind_of_json json in
+  Ok { Macro.Signature.voltage; currents }
+
+(* --- faults ------------------------------------------------------------- *)
+
+let layer_to_json, layer_of_json =
+  enum ~what:"layer" ~name_of:Process.Layer.name Process.Layer.all
+
+let fault_type_to_json, fault_type_of_json =
+  enum ~what:"fault type" ~name_of:Fault.Types.fault_type_name
+    Fault.Types.all_fault_types
+
+let site_name = function
+  | Fault.Types.To_source -> "source"
+  | Fault.Types.To_drain -> "drain"
+  | Fault.Types.To_channel -> "channel"
+
+let site_to_json, site_of_json =
+  enum ~what:"pinhole site" ~name_of:site_name
+    [ Fault.Types.To_source; Fault.Types.To_drain; Fault.Types.To_channel ]
+
+let severity_name = function
+  | Fault.Types.Catastrophic -> "catastrophic"
+  | Fault.Types.Non_catastrophic -> "non-catastrophic"
+
+let severity_to_json, severity_of_json =
+  enum ~what:"severity" ~name_of:severity_name
+    [ Fault.Types.Catastrophic; Fault.Types.Non_catastrophic ]
+
+(* [Defect_stats.mechanism_name] is not injective ([Extra_material
+   Contact] and [Extra_contact] both render "extra-contact"), so the
+   mechanism is encoded structurally. *)
+let mechanism_to_json (m : Process.Defect_stats.mechanism) =
+  match m with
+  | Process.Defect_stats.Extra_material layer ->
+    J.Obj [ "kind", J.String "extra-material"; "layer", layer_to_json layer ]
+  | Process.Defect_stats.Missing_material layer ->
+    J.Obj [ "kind", J.String "missing-material"; "layer", layer_to_json layer ]
+  | Process.Defect_stats.Gate_oxide_pinhole ->
+    J.Obj [ "kind", J.String "gate-oxide-pinhole" ]
+  | Process.Defect_stats.Junction_pinhole ->
+    J.Obj [ "kind", J.String "junction-pinhole" ]
+  | Process.Defect_stats.Thick_oxide_pinhole ->
+    J.Obj [ "kind", J.String "thick-oxide-pinhole" ]
+  | Process.Defect_stats.Extra_contact ->
+    J.Obj [ "kind", J.String "extra-contact" ]
+  | Process.Defect_stats.Missing_contact ->
+    J.Obj [ "kind", J.String "missing-contact" ]
+
+let mechanism_of_json json =
+  let* kind = str_field "kind" json in
+  let layered f = Result.map f (Result.bind (field "layer" json) layer_of_json) in
+  match kind with
+  | "extra-material" ->
+    layered (fun l -> Process.Defect_stats.Extra_material l)
+  | "missing-material" ->
+    layered (fun l -> Process.Defect_stats.Missing_material l)
+  | "gate-oxide-pinhole" -> Ok Process.Defect_stats.Gate_oxide_pinhole
+  | "junction-pinhole" -> Ok Process.Defect_stats.Junction_pinhole
+  | "thick-oxide-pinhole" -> Ok Process.Defect_stats.Thick_oxide_pinhole
+  | "extra-contact" -> Ok Process.Defect_stats.Extra_contact
+  | "missing-contact" -> Ok Process.Defect_stats.Missing_contact
+  | other -> Error (Printf.sprintf "unknown defect mechanism %S" other)
+
+let capacitance_fields = function
+  | None -> []
+  | Some c -> [ "capacitance", J.Float c ]
+
+let fault_to_json (f : Fault.Types.fault) =
+  match f with
+  | Fault.Types.Bridge { net_a; net_b; resistance; capacitance; origin } ->
+    J.Obj
+      ([
+         "kind", J.String "bridge";
+         "net_a", J.String net_a;
+         "net_b", J.String net_b;
+         "resistance", J.Float resistance;
+       ]
+      @ capacitance_fields capacitance
+      @ [ "origin", fault_type_to_json origin ])
+  | Fault.Types.Bridge_cluster { nets; resistance; capacitance; origin } ->
+    J.Obj
+      ([
+         "kind", J.String "bridge-cluster";
+         "nets", J.List (List.map (fun n -> J.String n) nets);
+         "resistance", J.Float resistance;
+       ]
+      @ capacitance_fields capacitance
+      @ [ "origin", fault_type_to_json origin ])
+  | Fault.Types.Node_split { net; far_pins } ->
+    J.Obj
+      [
+        "kind", J.String "node-split";
+        "net", J.String net;
+        ( "far_pins",
+          J.List
+            (List.map
+               (fun (device, terminal) ->
+                 J.List [ J.String device; J.String terminal ])
+               far_pins) );
+      ]
+  | Fault.Types.Gate_pinhole { device; site; resistance } ->
+    J.Obj
+      [
+        "kind", J.String "gate-pinhole";
+        "device", J.String device;
+        "site", site_to_json site;
+        "resistance", J.Float resistance;
+      ]
+  | Fault.Types.Junction_leak { net; bulk_net; resistance } ->
+    J.Obj
+      [
+        "kind", J.String "junction-leak";
+        "net", J.String net;
+        "bulk_net", J.String bulk_net;
+        "resistance", J.Float resistance;
+      ]
+  | Fault.Types.Device_ds_short { device; resistance } ->
+    J.Obj
+      [
+        "kind", J.String "device-ds-short";
+        "device", J.String device;
+        "resistance", J.Float resistance;
+      ]
+  | Fault.Types.Parasitic_mos { gate_net; net_a; net_b } ->
+    J.Obj
+      [
+        "kind", J.String "parasitic-mos";
+        "gate_net", J.String gate_net;
+        "net_a", J.String net_a;
+        "net_b", J.String net_b;
+      ]
+
+let far_pin_of_json json =
+  match J.to_list json with
+  | Some [ d; t ] ->
+    let* device = as_str d in
+    let* terminal = as_str t in
+    Ok (device, terminal)
+  | Some _ | None -> error_at "expected a [device, terminal] pair" json
+
+let fault_of_json json =
+  let* kind = str_field "kind" json in
+  match kind with
+  | "bridge" ->
+    let* net_a = str_field "net_a" json in
+    let* net_b = str_field "net_b" json in
+    let* resistance = float_field "resistance" json in
+    let* capacitance = opt_float_field "capacitance" json in
+    let* origin = Result.bind (field "origin" json) fault_type_of_json in
+    Ok (Fault.Types.Bridge { net_a; net_b; resistance; capacitance; origin })
+  | "bridge-cluster" ->
+    let* nets = list_field "nets" as_str json in
+    let* resistance = float_field "resistance" json in
+    let* capacitance = opt_float_field "capacitance" json in
+    let* origin = Result.bind (field "origin" json) fault_type_of_json in
+    Ok (Fault.Types.Bridge_cluster { nets; resistance; capacitance; origin })
+  | "node-split" ->
+    let* net = str_field "net" json in
+    let* far_pins = list_field "far_pins" far_pin_of_json json in
+    Ok (Fault.Types.Node_split { net; far_pins })
+  | "gate-pinhole" ->
+    let* device = str_field "device" json in
+    let* site = Result.bind (field "site" json) site_of_json in
+    let* resistance = float_field "resistance" json in
+    Ok (Fault.Types.Gate_pinhole { device; site; resistance })
+  | "junction-leak" ->
+    let* net = str_field "net" json in
+    let* bulk_net = str_field "bulk_net" json in
+    let* resistance = float_field "resistance" json in
+    Ok (Fault.Types.Junction_leak { net; bulk_net; resistance })
+  | "device-ds-short" ->
+    let* device = str_field "device" json in
+    let* resistance = float_field "resistance" json in
+    Ok (Fault.Types.Device_ds_short { device; resistance })
+  | "parasitic-mos" ->
+    let* gate_net = str_field "gate_net" json in
+    let* net_a = str_field "net_a" json in
+    let* net_b = str_field "net_b" json in
+    Ok (Fault.Types.Parasitic_mos { gate_net; net_a; net_b })
+  | other -> Error (Printf.sprintf "unknown fault kind %S" other)
+
+let instance_to_json (i : Fault.Types.instance) =
+  J.Obj
+    [
+      "fault", fault_to_json i.Fault.Types.fault;
+      "severity", severity_to_json i.Fault.Types.severity;
+      "mechanism", mechanism_to_json i.Fault.Types.mechanism;
+    ]
+
+let instance_of_json json =
+  let* fault = Result.bind (field "fault" json) fault_of_json in
+  let* severity = Result.bind (field "severity" json) severity_of_json in
+  let* mechanism = Result.bind (field "mechanism" json) mechanism_of_json in
+  Ok { Fault.Types.fault; severity; mechanism }
+
+let fault_class_to_json (fc : Fault.Collapse.fault_class) =
+  J.Obj
+    [
+      "representative", instance_to_json fc.Fault.Collapse.representative;
+      "count", J.Int fc.Fault.Collapse.count;
+    ]
+
+let fault_class_of_json json =
+  let* representative =
+    Result.bind (field "representative" json) instance_of_json
+  in
+  let* count = int_field "count" json in
+  Ok { Fault.Collapse.representative; count }
+
+(* --- evaluation outcomes ------------------------------------------------ *)
+
+let status_to_json (s : Macro.Evaluate.status) =
+  match s with
+  | Macro.Evaluate.Converged -> J.Obj [ "kind", J.String "converged" ]
+  | Macro.Evaluate.Recovered { attempts } ->
+    J.Obj [ "kind", J.String "recovered"; "attempts", J.Int attempts ]
+  | Macro.Evaluate.Unresolved { attempts; error } ->
+    J.Obj
+      [
+        "kind", J.String "unresolved";
+        "attempts", J.Int attempts;
+        "error", J.String error;
+      ]
+
+let status_of_json json =
+  let* kind = str_field "kind" json in
+  match kind with
+  | "converged" -> Ok Macro.Evaluate.Converged
+  | "recovered" ->
+    let* attempts = int_field "attempts" json in
+    Ok (Macro.Evaluate.Recovered { attempts })
+  | "unresolved" ->
+    let* attempts = int_field "attempts" json in
+    let* error = str_field "error" json in
+    Ok (Macro.Evaluate.Unresolved { attempts; error })
+  | other -> Error (Printf.sprintf "unknown outcome status %S" other)
+
+let outcome_to_json (o : Macro.Evaluate.outcome) =
+  J.Obj
+    [
+      "fault_class", fault_class_to_json o.Macro.Evaluate.fault_class;
+      "signature", signature_to_json o.Macro.Evaluate.signature;
+      "status", status_to_json o.Macro.Evaluate.status;
+    ]
+
+let outcome_of_json json =
+  let* fault_class = Result.bind (field "fault_class" json) fault_class_of_json in
+  let* signature = Result.bind (field "signature" json) signature_of_json in
+  let* status = Result.bind (field "status" json) status_of_json in
+  Ok { Macro.Evaluate.fault_class; signature; status }
+
+(* --- good-signature space ----------------------------------------------- *)
+
+let good_space_to_json good =
+  J.List
+    (List.map
+       (fun (name, (w : Util.Stats.window)) ->
+         J.Obj
+           [
+             "name", J.String name;
+             "low", J.Float w.Util.Stats.low;
+             "high", J.Float w.Util.Stats.high;
+           ])
+       (Macro.Good_space.windows good))
+
+let good_space_of_json json =
+  let window json =
+    let* name = str_field "name" json in
+    let* low = float_field "low" json in
+    let* high = float_field "high" json in
+    Ok (name, { Util.Stats.low; high })
+  in
+  Result.map Macro.Good_space.of_windows (list_of window json)
+
+(* --- the per-macro analysis payload ------------------------------------- *)
+
+type analysis = {
+  sprinkled : int;
+  effective : int;
+  good : Macro.Good_space.t;
+  classes_catastrophic : Fault.Collapse.fault_class list;
+  classes_non_catastrophic : Fault.Collapse.fault_class list;
+  outcomes_catastrophic : Macro.Evaluate.outcome list;
+  outcomes_non_catastrophic : Macro.Evaluate.outcome list;
+}
+
+let analysis_to_json a =
+  J.Obj
+    [
+      "sprinkled", J.Int a.sprinkled;
+      "effective", J.Int a.effective;
+      "good", good_space_to_json a.good;
+      ( "classes_catastrophic",
+        J.List (List.map fault_class_to_json a.classes_catastrophic) );
+      ( "classes_non_catastrophic",
+        J.List (List.map fault_class_to_json a.classes_non_catastrophic) );
+      ( "outcomes_catastrophic",
+        J.List (List.map outcome_to_json a.outcomes_catastrophic) );
+      ( "outcomes_non_catastrophic",
+        J.List (List.map outcome_to_json a.outcomes_non_catastrophic) );
+    ]
+
+let analysis_of_json json =
+  let* sprinkled = int_field "sprinkled" json in
+  let* effective = int_field "effective" json in
+  let* good = Result.bind (field "good" json) good_space_of_json in
+  let* classes_catastrophic =
+    list_field "classes_catastrophic" fault_class_of_json json
+  in
+  let* classes_non_catastrophic =
+    list_field "classes_non_catastrophic" fault_class_of_json json
+  in
+  let* outcomes_catastrophic =
+    list_field "outcomes_catastrophic" outcome_of_json json
+  in
+  let* outcomes_non_catastrophic =
+    list_field "outcomes_non_catastrophic" outcome_of_json json
+  in
+  Ok
+    {
+      sprinkled;
+      effective;
+      good;
+      classes_catastrophic;
+      classes_non_catastrophic;
+      outcomes_catastrophic;
+      outcomes_non_catastrophic;
+    }
+
+(* --- fingerprints ------------------------------------------------------- *)
+
+(* Floats are rendered in hex ("%h") so fingerprinting never loses bits
+   to decimal formatting. *)
+let hexf = Printf.sprintf "%h"
+
+let tech_fingerprint (tech : Process.Tech.t) =
+  let per_layer name f render =
+    List.map
+      (fun layer ->
+        (* Some electrical functions reject cut layers by contract;
+           fingerprint the rejection too. *)
+        let value = try render (f layer) with Invalid_argument _ -> "n/a" in
+        Printf.sprintf "%s(%s)=%s" name (Process.Layer.name layer) value)
+      Process.Layer.all
+  in
+  Util.Cache.fingerprint
+    ([ "tech"; tech.Process.Tech.name ]
+    @ per_layer "min_width" tech.Process.Tech.min_width string_of_int
+    @ per_layer "min_spacing" tech.Process.Tech.min_spacing string_of_int
+    @ per_layer "sheet_resistance" tech.Process.Tech.sheet_resistance hexf
+    @ per_layer "short_resistance" tech.Process.Tech.short_resistance hexf
+    @ List.map
+        (fun (name, value) -> Printf.sprintf "%s=%s" name value)
+        [
+          "contact_size", string_of_int tech.Process.Tech.contact_size;
+          "grid", string_of_int tech.Process.Tech.grid;
+          ( "extra_contact_resistance",
+            hexf tech.Process.Tech.extra_contact_resistance );
+          ( "gate_oxide_pinhole_resistance",
+            hexf tech.Process.Tech.gate_oxide_pinhole_resistance );
+          ( "junction_pinhole_resistance",
+            hexf tech.Process.Tech.junction_pinhole_resistance );
+          ( "thick_oxide_pinhole_resistance",
+            hexf tech.Process.Tech.thick_oxide_pinhole_resistance );
+          ( "shorted_device_resistance",
+            hexf tech.Process.Tech.shorted_device_resistance );
+          "near_miss_resistance", hexf tech.Process.Tech.near_miss_resistance;
+          "near_miss_capacitance", hexf tech.Process.Tech.near_miss_capacitance;
+          "vdd", hexf tech.Process.Tech.vdd;
+          "temperature", hexf tech.Process.Tech.temperature;
+        ])
+
+let stats_fingerprint stats =
+  Util.Cache.fingerprint
+    ("defect-stats"
+    :: List.map
+         (fun (e : Process.Defect_stats.entry) ->
+           Printf.sprintf "%s rate=%s size=[%s,%s]"
+             (J.to_string (mechanism_to_json e.Process.Defect_stats.mechanism))
+             (hexf e.Process.Defect_stats.relative_rate)
+             (hexf e.Process.Defect_stats.size_min)
+             (hexf e.Process.Defect_stats.size_max))
+         (Process.Defect_stats.entries stats))
+
+let waveform_part w =
+  match Circuit.Waveform.view w with
+  | Circuit.Waveform.View_dc v -> Printf.sprintf "dc %s" (hexf v)
+  | Circuit.Waveform.View_pwl points ->
+    "pwl "
+    ^ String.concat ","
+        (List.map (fun (t, v) -> Printf.sprintf "%s:%s" (hexf t) (hexf v)) points)
+  | Circuit.Waveform.View_pulse { v0; v1; delay; rise; fall; width; period } ->
+    Printf.sprintf "pulse %s %s %s %s %s %s %s" (hexf v0) (hexf v1) (hexf delay)
+      (hexf rise) (hexf fall) (hexf width) (hexf period)
+
+let device_part (dv : Circuit.Netlist.device_view) =
+  let kind =
+    match dv.Circuit.Netlist.kind with
+    | Circuit.Netlist.Resistor r -> "R " ^ hexf r
+    | Circuit.Netlist.Capacitor c -> "C " ^ hexf c
+    | Circuit.Netlist.Vsource w -> "V " ^ waveform_part w
+    | Circuit.Netlist.Isource w -> "I " ^ waveform_part w
+    | Circuit.Netlist.Mosfet spec ->
+      Printf.sprintf "M %s vth=%s kp=%s lambda=%s w=%s l=%s"
+        (match spec.Circuit.Netlist.polarity with
+        | Circuit.Mos_model.Nmos -> "nmos"
+        | Circuit.Mos_model.Pmos -> "pmos")
+        (hexf spec.Circuit.Netlist.params.Circuit.Mos_model.vth)
+        (hexf spec.Circuit.Netlist.params.Circuit.Mos_model.kp)
+        (hexf spec.Circuit.Netlist.params.Circuit.Mos_model.lambda)
+        (hexf spec.Circuit.Netlist.w) (hexf spec.Circuit.Netlist.l)
+  in
+  Printf.sprintf "%s | %s | %s" dv.Circuit.Netlist.dev_name kind
+    (String.concat " "
+       (List.map
+          (fun (role, node) ->
+            Printf.sprintf "%s=%d" role (Circuit.Netlist.index_of_node node))
+          dv.Circuit.Netlist.pin_nodes))
+
+let netlist_fingerprint nl =
+  Util.Cache.fingerprint
+    ((Printf.sprintf "netlist nodes=%d" (Circuit.Netlist.node_count nl))
+    :: List.map (Circuit.Netlist.node_name nl) (Circuit.Netlist.nodes nl)
+    @ List.map device_part (Circuit.Netlist.devices nl))
+
+let owner_part = function
+  | Layout.Cell.Wire net -> "wire " ^ net
+  | Layout.Cell.Device_terminal { device; terminal } ->
+    Printf.sprintf "pin %s.%s" device terminal
+  | Layout.Cell.Gate { device } -> "gate " ^ device
+  | Layout.Cell.Channel { device } -> "channel " ^ device
+  | Layout.Cell.Cut { connects_up } ->
+    if connects_up then "cut up" else "cut down"
+
+let cell_fingerprint cell =
+  let shape_part (s : Layout.Cell.shape) =
+    Printf.sprintf "%d %s (%d,%d)-(%d,%d) %s" s.Layout.Cell.id
+      (Process.Layer.name s.Layout.Cell.layer)
+      s.Layout.Cell.rect.Geometry.Rect.x0 s.Layout.Cell.rect.Geometry.Rect.y0
+      s.Layout.Cell.rect.Geometry.Rect.x1 s.Layout.Cell.rect.Geometry.Rect.y1
+      (owner_part s.Layout.Cell.owner)
+  in
+  Util.Cache.fingerprint
+    ("cell" :: Layout.Cell.name cell
+    :: (Array.to_list (Layout.Cell.shapes cell) |> List.map shape_part))
+
+(* --- rendered-report surface -------------------------------------------- *)
+
+let table_to_json = Util.Table.to_json
+
+let metrics_to_json (m : Util.Telemetry.Metrics.t) =
+  J.Obj
+    [
+      ( "counters",
+        J.Obj
+          (List.map
+             (fun (name, total) -> name, J.Int total)
+             m.Util.Telemetry.Metrics.counters) );
+      ( "gauges",
+        J.Obj
+          (List.map
+             (fun (name, value) -> name, J.Float value)
+             m.Util.Telemetry.Metrics.gauges) );
+    ]
+
+let cache_stats_to_json ~state (s : Util.Cache.stats) =
+  J.Obj
+    [
+      ( "state",
+        J.String
+          (match state with `Cold -> "cold" | `Warm -> "warm" | `Off -> "off")
+      );
+      "hits", J.Int s.Util.Cache.hits;
+      "misses", J.Int s.Util.Cache.misses;
+      "stale", J.Int s.Util.Cache.stale;
+      "evictions", J.Int s.Util.Cache.evictions;
+    ]

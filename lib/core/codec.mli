@@ -1,0 +1,109 @@
+(** The library's one public (de)serialization surface.
+
+    Everything the library persists or emits as JSON goes through this
+    module, so the schema of each value is defined in exactly one place:
+    the result cache stores per-macro analyses with {!analysis_to_json},
+    {!Report.render}'s [`Json] format and the bench harness's [--json]
+    mode render through {!table_to_json} / {!metrics_to_json} /
+    {!cache_stats_to_json}.
+
+    Encoders are total. Decoders are total in the other direction: any
+    JSON value yields [Ok] or a descriptive [Error], never an exception —
+    a corrupt cache entry must cost a re-simulation, not a crash. For
+    every pair, [of_json (to_json v) = Ok v]; floats survive exactly
+    because {!Util.Json} prints the shortest representation that parses
+    back to the identical double.
+
+    {!version} stamps both the cache envelope and the cache key: bump it
+    whenever simulation semantics or any encoding here changes, and
+    every previously written cache entry becomes (safely) stale. *)
+
+type 'a decoder = Util.Json.t -> ('a, string) result
+
+(** Serialization/semantics version of the library (see the module
+    preamble). Folded into every cache key and envelope. *)
+val version : string
+
+(** {1 Signatures} *)
+
+val voltage_to_json : Macro.Signature.voltage -> Util.Json.t
+val voltage_of_json : Macro.Signature.voltage decoder
+val current_kind_to_json : Macro.Signature.current_kind -> Util.Json.t
+val current_kind_of_json : Macro.Signature.current_kind decoder
+val signature_to_json : Macro.Signature.t -> Util.Json.t
+val signature_of_json : Macro.Signature.t decoder
+
+(** {1 Faults and fault classes} *)
+
+val fault_to_json : Fault.Types.fault -> Util.Json.t
+val fault_of_json : Fault.Types.fault decoder
+val instance_to_json : Fault.Types.instance -> Util.Json.t
+val instance_of_json : Fault.Types.instance decoder
+val fault_class_to_json : Fault.Collapse.fault_class -> Util.Json.t
+val fault_class_of_json : Fault.Collapse.fault_class decoder
+
+(** {1 Evaluation outcomes} *)
+
+val status_to_json : Macro.Evaluate.status -> Util.Json.t
+val status_of_json : Macro.Evaluate.status decoder
+val outcome_to_json : Macro.Evaluate.outcome -> Util.Json.t
+val outcome_of_json : Macro.Evaluate.outcome decoder
+
+(** {1 Good-signature space} *)
+
+val good_space_to_json : Macro.Good_space.t -> Util.Json.t
+val good_space_of_json : Macro.Good_space.t decoder
+
+(** {1 The per-macro analysis payload}
+
+    Everything {!Pipeline.analyze} computes for one macro except the
+    macro value itself (a bundle of closures — the caller re-attaches
+    it) and wall-clock timings (which a warm run did not spend).
+    This record {e is} the result cache's payload. *)
+
+type analysis = {
+  sprinkled : int;
+  effective : int;
+  good : Macro.Good_space.t;
+  classes_catastrophic : Fault.Collapse.fault_class list;
+  classes_non_catastrophic : Fault.Collapse.fault_class list;
+  outcomes_catastrophic : Macro.Evaluate.outcome list;
+  outcomes_non_catastrophic : Macro.Evaluate.outcome list;
+}
+
+val analysis_to_json : analysis -> Util.Json.t
+val analysis_of_json : analysis decoder
+
+(** {1 Fingerprints}
+
+    Stable content fingerprints of the inputs a per-macro result depends
+    on. Two values with equal fingerprints produce identical analyses;
+    anything a fingerprint cannot observe (a macro's [measure] or
+    [classify_voltage] closure) is covered by {!version} instead —
+    change those semantics, bump the version. *)
+
+val tech_fingerprint : Process.Tech.t -> string
+val stats_fingerprint : Process.Defect_stats.t -> string
+
+(** [netlist_fingerprint nl] digests the full structural content:
+    devices with element values, waveform views, MOSFET geometry and
+    model parameters, and pin-to-node wiring. Two macros sharing a name
+    but differing in any device (e.g. the comparator with and without
+    the leaky flipflop) fingerprint differently. *)
+val netlist_fingerprint : Circuit.Netlist.t -> string
+
+val cell_fingerprint : Layout.Cell.t -> string
+
+(** {1 Rendered-report surface} *)
+
+(** [table_to_json t] — array of row objects keyed by column title (the
+    [`Json] report format). *)
+val table_to_json : Util.Table.t -> Util.Json.t
+
+(** [metrics_to_json m] — [{counters: {...}, gauges: {...}}]. *)
+val metrics_to_json : Util.Telemetry.Metrics.t -> Util.Json.t
+
+(** [cache_stats_to_json ~state s] — the four counters plus
+    ["state": "cold"|"warm"|"off"]. *)
+val cache_stats_to_json :
+  state:[ `Cold | `Warm | `Off ] -> Util.Cache.stats -> Util.Json.t

@@ -11,6 +11,7 @@ module Config = struct
     failure_budget : int option;
     inject_failures : float option;
     telemetry : Util.Telemetry.sink;
+    cache : Util.Cache.t option;
   }
 
   let default =
@@ -26,6 +27,7 @@ module Config = struct
       failure_budget = None;
       inject_failures = None;
       telemetry = Util.Telemetry.null;
+      cache = None;
     }
 
   let with_tech tech config = { config with tech }
@@ -40,23 +42,20 @@ module Config = struct
   let with_inject_failures inject_failures config =
     { config with inject_failures }
   let with_telemetry telemetry config = { config with telemetry }
+
+  let with_cache dir config =
+    {
+      config with
+      cache =
+        Option.map
+          (fun dir -> Util.Cache.create ~dir ~version:Codec.version ())
+          dir;
+    }
+
+  let with_cache_handle cache config = { config with cache }
 end
 
-type config = Config.t = {
-  tech : Process.Tech.t;
-  stats : Process.Defect_stats.t;
-  defects : int;
-  good_space_dies : int;
-  sigma : float;
-  seed : int;
-  max_retries : int;
-  strict : bool;
-  failure_budget : int option;
-  inject_failures : float option;
-  telemetry : Util.Telemetry.sink;
-}
-
-let default_config = Config.default
+open Config
 
 type macro_health = {
   macro_name : string;
@@ -150,6 +149,78 @@ let install_sink config f =
   if Util.Telemetry.is_null sink || Util.Telemetry.sink () == sink then f ()
   else Util.Telemetry.with_sink sink f
 
+(* Content address of one macro's analysis: everything the result is a
+   function of. The macro's measure/classify closures are the one input a
+   fingerprint cannot observe; changing their semantics requires bumping
+   [Codec.version] (which both keys and envelope-stamps every entry). *)
+let cache_key config (macro : Macro.Macro_cell.t) ~nominal_netlist ~cell =
+  Util.Cache.fingerprint
+    [
+      "codec=" ^ Codec.version;
+      "macro=" ^ macro.Macro.Macro_cell.name;
+      "netlist=" ^ Codec.netlist_fingerprint nominal_netlist;
+      "cell=" ^ Codec.cell_fingerprint cell;
+      "tech=" ^ Codec.tech_fingerprint config.tech;
+      "stats=" ^ Codec.stats_fingerprint config.stats;
+      Printf.sprintf "defects=%d" config.defects;
+      Printf.sprintf "good_space_dies=%d" config.good_space_dies;
+      Printf.sprintf "sigma=%h" config.sigma;
+      Printf.sprintf "seed=%d" config.seed;
+      Printf.sprintf "max_retries=%d" config.max_retries;
+      Printf.sprintf "strict=%b" config.strict;
+      (match config.inject_failures with
+      | None -> "inject=none"
+      | Some fraction -> Printf.sprintf "inject=%h" fraction);
+    ]
+
+let cached_analysis config (macro : Macro.Macro_cell.t) ~key =
+  match config.cache with
+  | None -> None
+  | Some cache ->
+    Option.bind (Util.Cache.find cache ~key) @@ fun payload ->
+    (match Codec.analysis_of_json payload with
+    | Ok (a : Codec.analysis) ->
+      let health =
+        health_of ~macro_name:macro.Macro.Macro_cell.name
+          ~outcomes:[ a.outcomes_catastrophic; a.outcomes_non_catastrophic ]
+          ~stage_seconds:[]
+      in
+      Some
+        {
+          macro;
+          sprinkled = a.Codec.sprinkled;
+          effective = a.Codec.effective;
+          good = a.Codec.good;
+          classes_catastrophic = a.Codec.classes_catastrophic;
+          classes_non_catastrophic = a.Codec.classes_non_catastrophic;
+          outcomes_catastrophic = a.Codec.outcomes_catastrophic;
+          outcomes_non_catastrophic = a.Codec.outcomes_non_catastrophic;
+          health;
+        }
+    | Error e ->
+      (* The version stamp should make this unreachable; treat it as a
+         miss all the same — a cache must never fail a run. *)
+      Log.warn (fun m ->
+          m "[%s] undecodable cache entry (%s): re-simulating"
+            macro.Macro.Macro_cell.name e);
+      None)
+
+let store_analysis config analysis ~key =
+  Option.iter
+    (fun cache ->
+      Util.Cache.store cache ~key
+        (Codec.analysis_to_json
+           {
+             Codec.sprinkled = analysis.sprinkled;
+             effective = analysis.effective;
+             good = analysis.good;
+             classes_catastrophic = analysis.classes_catastrophic;
+             classes_non_catastrophic = analysis.classes_non_catastrophic;
+             outcomes_catastrophic = analysis.outcomes_catastrophic;
+             outcomes_non_catastrophic = analysis.outcomes_non_catastrophic;
+           }))
+    config.cache
+
 let analyze config (macro : Macro.Macro_cell.t) =
   install_sink config @@ fun () ->
   Util.Telemetry.with_span
@@ -174,6 +245,37 @@ let analyze config (macro : Macro.Macro_cell.t) =
   let nominal_netlist =
     macro.Macro.Macro_cell.build (Process.Variation.nominal config.tech)
   in
+  (* Fingerprinting is cheap next to simulation, but not free: skip it
+     entirely when no cache is configured. *)
+  let key =
+    match config.cache with
+    | None -> None
+    | Some _ -> Some (cache_key config macro ~nominal_netlist ~cell)
+  in
+  let finish ~from_cache analysis =
+    (if analysis.health.unresolved > 0 then
+       Log.info (fun m ->
+           m "[%s] degraded run: %d retried, %d recovered, %d unresolved"
+             macro.Macro.Macro_cell.name analysis.health.retried
+             analysis.health.degraded analysis.health.unresolved));
+    check_budget config ~unresolved:analysis.health.unresolved;
+    Util.Telemetry.count "macros_analyzed";
+    Util.Telemetry.add_span_attrs
+      [
+        "classes", Util.Telemetry.Int analysis.health.classes;
+        "unresolved", Util.Telemetry.Int analysis.health.unresolved;
+        "cache", Util.Telemetry.String (if from_cache then "hit" else "miss");
+      ];
+    analysis
+  in
+  match
+    Option.bind key (fun key -> cached_analysis config macro ~key)
+  with
+  | Some analysis ->
+    Log.info (fun m ->
+        m "[%s] cache hit: skipping simulation" macro.Macro.Macro_cell.name);
+    finish ~from_cache:true analysis
+  | None ->
   Log.info (fun m -> m "[%s] sprinkling %d defects" macro.Macro.Macro_cell.name config.defects);
   let defect_result =
     timed "sprinkle" (fun () ->
@@ -213,29 +315,21 @@ let analyze config (macro : Macro.Macro_cell.t) =
       ~outcomes:[ outcomes_catastrophic; outcomes_non_catastrophic ]
       ~stage_seconds:(List.rev !stage_seconds)
   in
-  (if health.unresolved > 0 then
-     Log.info (fun m ->
-         m "[%s] degraded run: %d retried, %d recovered, %d unresolved"
-           macro.Macro.Macro_cell.name health.retried health.degraded
-           health.unresolved));
-  check_budget config ~unresolved:health.unresolved;
-  Util.Telemetry.count "macros_analyzed";
-  Util.Telemetry.add_span_attrs
-    [
-      "classes", Util.Telemetry.Int health.classes;
-      "unresolved", Util.Telemetry.Int health.unresolved;
-    ];
-  {
-    macro;
-    sprinkled = defect_result.Defect.Simulate.sprinkled;
-    effective = defect_result.Defect.Simulate.effective;
-    good;
-    classes_catastrophic;
-    classes_non_catastrophic;
-    outcomes_catastrophic;
-    outcomes_non_catastrophic;
-    health;
-  }
+  let analysis =
+    {
+      macro;
+      sprinkled = defect_result.Defect.Simulate.sprinkled;
+      effective = defect_result.Defect.Simulate.effective;
+      good;
+      classes_catastrophic;
+      classes_non_catastrophic;
+      outcomes_catastrophic;
+      outcomes_non_catastrophic;
+      health;
+    }
+  in
+  Option.iter (fun key -> store_analysis config analysis ~key) key;
+  finish ~from_cache:false analysis
 
 let analyze_all config macros =
   install_sink config @@ fun () ->

@@ -43,6 +43,10 @@ module Config : sig
         (** observability sink installed for the duration of {!analyze} /
             {!analyze_all}; {!Util.Telemetry.null} (the default) leaves
             the ambient sink untouched and costs nothing *)
+    cache : Util.Cache.t option;
+        (** persistent result cache consulted per macro before any
+            simulation work is spawned (default [None] = simulate
+            everything). See {!analyze} for the determinism contract. *)
   }
 
   val default : t
@@ -58,27 +62,18 @@ module Config : sig
   val with_failure_budget : int option -> t -> t
   val with_inject_failures : float option -> t -> t
   val with_telemetry : Util.Telemetry.sink -> t -> t
+
+  (** [with_cache (Some dir) config] opens (creating if needed) the
+      persistent result cache rooted at [dir], versioned with
+      {!Codec.version}; [with_cache None] disables caching. The returned
+      handle is shared by every config derived from this one. *)
+  val with_cache : string option -> t -> t
+
+  (** [with_cache_handle cache config] installs an existing handle —
+      useful when the caller also wants to read {!Util.Cache.stats}
+      after the run. *)
+  val with_cache_handle : Util.Cache.t option -> t -> t
 end
-
-(** Deprecated spelling of {!Config.t}, kept for one release so existing
-    record-literal call sites keep compiling; new code should use
-    {!Config.default} and the setters (see DESIGN.md §9). *)
-type config = Config.t = {
-  tech : Process.Tech.t;
-  stats : Process.Defect_stats.t;
-  defects : int;
-  good_space_dies : int;
-  sigma : float;
-  seed : int;
-  max_retries : int;
-  strict : bool;
-  failure_budget : int option;
-  inject_failures : float option;
-  telemetry : Util.Telemetry.sink;
-}
-
-(** Deprecated alias of {!Config.default} (one release, see DESIGN.md §9). *)
-val default_config : config
 
 (** Containment counters for one macro, plus stage wall-clock times.
     All counters are functions of the merged outcome lists only;
@@ -125,12 +120,24 @@ val run_health : macro_analysis list -> run_health
     the defect draws are chunked with per-chunk PRNG streams and all
     parallel stages merge in input order.
 
+    With [config.cache] set, the cache is consulted first under a key
+    fingerprinting every input the result depends on (macro name, its
+    nominal netlist and synthesized layout, tech and defect statistics,
+    defect/die counts, sigma, seed, retry/strict/injection settings, and
+    {!Codec.version}); a hit skips all simulation and re-attaches the
+    in-memory [macro]. Determinism contract: a warm run produces
+    byte-identical coverage tables, health counters and bounds to the
+    cold run at any job count — only [health.stage_seconds] (empty on a
+    hit) and wall-clock telemetry differ. The failure budget is
+    re-checked on hits, so a cached degraded run still raises under a
+    tighter budget.
+
     @raise Util.Resilience.Budget_exhausted when the macro alone exceeds
     [config.failure_budget].
     @raise Util.Pool.Worker_failure wrapping
     [Macro.Evaluate.Simulation_failed] when [config.strict] and a class
     is unresolved. *)
-val analyze : config -> Macro.Macro_cell.t -> macro_analysis
+val analyze : Config.t -> Macro.Macro_cell.t -> macro_analysis
 
 (** [analyze_all config macros] analyses independent macros concurrently
     on the {!Util.Pool} (their layouts are forced up front; the stages
@@ -139,7 +146,7 @@ val analyze : config -> Macro.Macro_cell.t -> macro_analysis
     [List.map (analyze config) macros]. The failure budget is re-checked
     against the sum of unresolved classes across all macros, after the
     ordered merge. *)
-val analyze_all : config -> Macro.Macro_cell.t list -> macro_analysis list
+val analyze_all : Config.t -> Macro.Macro_cell.t list -> macro_analysis list
 
 (** All outcomes of one severity. *)
 val outcomes :

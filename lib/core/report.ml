@@ -266,8 +266,33 @@ let metrics (m : Util.Telemetry.Metrics.t) =
       gauges);
   t
 
+let cache_state (s : Util.Cache.stats) =
+  if s.Util.Cache.hits > 0 then `Warm else `Cold
+
+let cache_stats (s : Util.Cache.stats) =
+  let t =
+    Util.Table.create
+      ~columns:[ "cache", Util.Table.Left; "count", Util.Table.Right ]
+  in
+  Util.Table.add_row t
+    [
+      "state";
+      (match cache_state s with `Warm -> "warm" | `Cold -> "cold");
+    ];
+  List.iter
+    (fun (name, count) -> Util.Table.add_row t [ name; string_of_int count ])
+    [
+      "hits", s.Util.Cache.hits;
+      "misses", s.Util.Cache.misses;
+      "stale", s.Util.Cache.stale;
+      "evictions", s.Util.Cache.evictions;
+    ];
+  t
+
+(* The [`Json] schema is owned by {!Codec}: every JSON emitter of the
+   library goes through that one surface. *)
 let render ~format table =
   match format with
   | `Text -> Util.Table.render table
-  | `Json -> Util.Table.render_json table
+  | `Json -> Util.Json.to_string (Codec.table_to_json table)
   | `Csv -> Util.Table.render_csv table

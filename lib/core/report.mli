@@ -42,9 +42,19 @@ val coverage_bounds : Global.t -> Util.Table.t
     durations never appear here. *)
 val metrics : Util.Telemetry.Metrics.t -> Util.Table.t
 
+(** [cache_state stats] — [`Warm] when at least one lookup hit. *)
+val cache_state : Util.Cache.stats -> [ `Cold | `Warm ]
+
+(** Result-cache counters of one run: state (cold/warm), hits, misses,
+    stale entries and LRU evictions. Unlike the coverage artefacts this
+    table is {e not} part of the warm-vs-cold byte-identity contract —
+    its whole point is to differ between those runs. *)
+val cache_stats : Util.Cache.stats -> Util.Table.t
+
 (** [render ~format table] is the single rendering entry point behind the
     CLI's [--format {text,json,csv}]: every report artefact above is a
     {!Util.Table.t}, so one call covers coverage, bounds, run-health and
     metrics alike. [`Text] is {!Util.Table.render}, [`Json] an array of
-    row objects keyed by column title, [`Csv] RFC-4180. *)
+    row objects keyed by column title (the schema is {!Codec.table_to_json},
+    the library's single serialization surface), [`Csv] RFC-4180. *)
 val render : format:[ `Text | `Json | `Csv ] -> Util.Table.t -> string

@@ -36,7 +36,7 @@ val improved : unit -> Macro.Macro_cell.t list
 (** Coverage comparison: run the pipeline on both macro sets and return
     ((fig4 original), (fig5 improved)). *)
 val compare_coverage :
-  ?config:Core.Pipeline.config -> unit -> Core.Global.t * Core.Global.t
+  ?config:Core.Pipeline.Config.t -> unit -> Core.Global.t * Core.Global.t
 
 (** The general mixed-signal DfT guidelines the paper derives (§4). *)
 val guidelines : string list

@@ -56,6 +56,8 @@ let widen t ~name ~by =
     t
 
 let measurements t = List.map fst t
+let windows t = t
+let of_windows ws = ws
 
 let pp ppf t =
   List.iter

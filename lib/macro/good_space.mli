@@ -38,4 +38,18 @@ val deviating_currents : t -> Macro_cell.vector -> Signature.current_kind list
 val widen : t -> name:string -> by:float -> t
 
 val measurements : t -> string list
+
+(** {1 Serialization view}
+
+    The compiled space is just its acceptance windows, so it can be
+    persisted and restored exactly — [Core.Codec] uses this pair to
+    round-trip a space through the result cache. *)
+
+(** [windows t] — every measurement with its window, in compile order. *)
+val windows : t -> (string * Util.Stats.window) list
+
+(** [of_windows ws] rebuilds a space from {!windows} output;
+    [of_windows (windows t) = t]. *)
+val of_windows : (string * Util.Stats.window) list -> t
+
 val pp : Format.formatter -> t -> unit

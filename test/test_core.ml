@@ -415,6 +415,167 @@ let test_report_metrics_table () =
      in
      scan 0)
 
+(* --- result cache ------------------------------------------------------ *)
+
+let with_cache_dir f =
+  let dir = Filename.temp_file "dotest_cache" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat dir name))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* Everything the analysis reports, rendered: two runs are equivalent iff
+   these strings are byte-identical. Stage wall-clock is excluded by
+   construction (run_health and bounds never print it). *)
+let analysis_fingerprint (a : Core.Pipeline.macro_analysis) =
+  let g = Core.Global.combine [ a ] in
+  String.concat "\n"
+    [
+      Util.Table.render (Core.Report.table1 a);
+      Util.Table.render (Core.Report.table2 a);
+      Util.Table.render (Core.Report.table3 a);
+      Util.Table.render (Core.Report.figure3 a);
+      Util.Table.render (Core.Report.run_health (Core.Pipeline.run_health [ a ]));
+      Util.Table.render (Core.Report.coverage_bounds g);
+    ]
+
+let analyze_cached ~dir ~jobs config =
+  let saved = Util.Pool.jobs () in
+  Util.Pool.set_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Util.Pool.set_jobs saved)
+    (fun () ->
+      (* A fresh handle per run: hits must come through the disk layer,
+         exactly like a separate process would see them. *)
+      let cache = Util.Cache.create ~dir ~version:Core.Codec.version () in
+      let config = Core.Pipeline.Config.with_cache_handle (Some cache) config in
+      let a =
+        Core.Pipeline.analyze config
+          (Adc.Comparator.macro Adc.Comparator.default_options)
+      in
+      a, Util.Cache.stats cache)
+
+let test_cache_warm_equals_cold () =
+  with_cache_dir @@ fun dir ->
+  let cold, cold_stats = analyze_cached ~dir ~jobs:1 telemetry_config in
+  Alcotest.(check int) "cold run misses" 1 cold_stats.Util.Cache.misses;
+  Alcotest.(check int) "cold run has no hits" 0 cold_stats.Util.Cache.hits;
+  (* Warm at jobs=1 and jobs=4: byte-identical to the cold run either way. *)
+  List.iter
+    (fun jobs ->
+      let warm, warm_stats = analyze_cached ~dir ~jobs telemetry_config in
+      Alcotest.(check int)
+        (Printf.sprintf "warm run hits (jobs=%d)" jobs)
+        1 warm_stats.Util.Cache.hits;
+      Alcotest.(check int)
+        (Printf.sprintf "warm run misses (jobs=%d)" jobs)
+        0 warm_stats.Util.Cache.misses;
+      Alcotest.(check string)
+        (Printf.sprintf "byte-identical output (jobs=%d)" jobs)
+        (analysis_fingerprint cold)
+        (analysis_fingerprint warm);
+      Alcotest.(check bool) "stage timings empty on a hit" true
+        (warm.Core.Pipeline.health.Core.Pipeline.stage_seconds = []))
+    [ 1; 4 ]
+
+let test_cache_hit_skips_simulation () =
+  with_cache_dir @@ fun dir ->
+  let _ = analyze_cached ~dir ~jobs:1 telemetry_config in
+  (* Second run with an in-memory sink: the simulation counters must stay
+     silent — the analysis came from the cache, not the solver. *)
+  let memory = Util.Telemetry.in_memory () in
+  let config =
+    Core.Pipeline.Config.with_telemetry
+      (Util.Telemetry.memory_sink memory)
+      telemetry_config
+  in
+  let _, stats = analyze_cached ~dir ~jobs:1 config in
+  Alcotest.(check int) "hit" 1 stats.Util.Cache.hits;
+  let m = Util.Telemetry.metrics memory in
+  Alcotest.(check (option int)) "no classes simulated" None
+    (List.assoc_opt "classes_simulated" m.Util.Telemetry.Metrics.counters);
+  Alcotest.(check (option int)) "no samples drawn" None
+    (List.assoc_opt "samples_drawn" m.Util.Telemetry.Metrics.counters);
+  Alcotest.(check (option int)) "macro still counted" (Some 1)
+    (List.assoc_opt "macros_analyzed" m.Util.Telemetry.Metrics.counters)
+
+let test_cache_key_sensitivity () =
+  with_cache_dir @@ fun dir ->
+  let _ = analyze_cached ~dir ~jobs:1 telemetry_config in
+  (* A changed seed must miss (and then store its own entry)... *)
+  let seeded = Core.Pipeline.Config.with_seed 77 telemetry_config in
+  let _, s = analyze_cached ~dir ~jobs:1 seeded in
+  Alcotest.(check int) "different seed misses" 1 s.Util.Cache.misses;
+  (* ...while the DfT comparator variant shares the macro name but not
+     the netlist, so it must also miss rather than alias. *)
+  let cache = Util.Cache.create ~dir ~version:Core.Codec.version () in
+  let config =
+    Core.Pipeline.Config.with_cache_handle (Some cache) telemetry_config
+  in
+  let _ =
+    Core.Pipeline.analyze config (Adc.Comparator.macro Adc.Comparator.dft_options)
+  in
+  Alcotest.(check int) "dft variant misses" 1
+    (Util.Cache.stats cache).Util.Cache.misses;
+  (* And the original entry is still intact: a final warm run hits. *)
+  let _, s3 = analyze_cached ~dir ~jobs:1 telemetry_config in
+  Alcotest.(check int) "original still hits" 1 s3.Util.Cache.hits
+
+let test_cache_warm_run_recheck_budget () =
+  (* The failure budget is NOT part of the key: a warm hit re-checks it,
+     so tightening the budget after a degraded run still aborts. *)
+  with_cache_dir @@ fun dir ->
+  let injected =
+    Core.Pipeline.Config.with_inject_failures (Some 0.2) telemetry_config
+  in
+  let cold, _ = analyze_cached ~dir ~jobs:1 injected in
+  Alcotest.(check bool) "degraded cold run" true
+    (cold.Core.Pipeline.health.Core.Pipeline.unresolved > 0);
+  let strict_budget =
+    Core.Pipeline.Config.with_failure_budget (Some 0) injected
+  in
+  match analyze_cached ~dir ~jobs:1 strict_budget with
+  | _ -> Alcotest.fail "warm hit must still honour the budget"
+  | exception Util.Resilience.Budget_exhausted { limit; _ } ->
+    Alcotest.(check int) "limit echoed" 0 limit
+
+let test_cache_analyze_all_warm () =
+  with_cache_dir @@ fun dir ->
+  let run jobs =
+    let saved = Util.Pool.jobs () in
+    Util.Pool.set_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Util.Pool.set_jobs saved)
+      (fun () ->
+        let cache = Util.Cache.create ~dir ~version:Core.Codec.version () in
+        let config =
+          Core.Pipeline.Config.with_cache_handle (Some cache) telemetry_config
+        in
+        let analyses =
+          Core.Pipeline.analyze_all config (Dft.Measures.original ())
+        in
+        let g = Core.Global.combine analyses in
+        let rendered =
+          Util.Table.render (Core.Report.figure4 g)
+          ^ Util.Table.render (Core.Report.summary g)
+          ^ Util.Table.render
+              (Core.Report.run_health (Core.Pipeline.run_health analyses))
+        in
+        rendered, Util.Cache.stats cache)
+    in
+  let cold, cold_stats = run 1 in
+  Alcotest.(check int) "five macros missed" 5 cold_stats.Util.Cache.misses;
+  let warm, warm_stats = run 4 in
+  Alcotest.(check int) "five macros hit" 5 warm_stats.Util.Cache.hits;
+  Alcotest.(check int) "no warm misses" 0 warm_stats.Util.Cache.misses;
+  Alcotest.(check string) "byte-identical global output" cold warm
+
 let global_pair =
   lazy
     (Dft.Measures.compare_coverage ~config:small_config ())
@@ -518,6 +679,17 @@ let suites =
           test_telemetry_counters_jobs_invariant_injected;
         Alcotest.test_case "jsonl trace round-trips" `Slow
           test_telemetry_jsonl_roundtrip;
+      ] );
+    ( "core.cache",
+      [
+        Alcotest.test_case "warm equals cold (jobs 1 and 4)" `Slow
+          test_cache_warm_equals_cold;
+        Alcotest.test_case "hit skips simulation" `Slow
+          test_cache_hit_skips_simulation;
+        Alcotest.test_case "key sensitivity" `Slow test_cache_key_sensitivity;
+        Alcotest.test_case "warm run re-checks budget" `Slow
+          test_cache_warm_run_recheck_budget;
+        Alcotest.test_case "analyze_all warm" `Slow test_cache_analyze_all_warm;
       ] );
     ( "core.report",
       [

@@ -676,6 +676,115 @@ let test_resilience_budget () =
   Alcotest.(check bool) "unlimited never raises" true
     (Resilience.remaining u = None)
 
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_cache_dir f =
+  let dir = Filename.temp_file "dotest_cache" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat dir name))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let payload = Json.Obj [ "answer", Json.Int 42 ]
+
+let test_cache_store_find_roundtrip () =
+  with_cache_dir @@ fun dir ->
+  let c = Cache.create ~dir ~version:"v1" () in
+  let key = Cache.fingerprint [ "some"; "inputs" ] in
+  Alcotest.(check bool) "absent before store" true (Cache.find c ~key = None);
+  Cache.store c ~key payload;
+  Alcotest.(check bool) "memory hit" true (Cache.find c ~key = Some payload);
+  (* A fresh handle on the same directory must hit from disk. *)
+  let c2 = Cache.create ~dir ~version:"v1" () in
+  Alcotest.(check bool) "disk hit" true (Cache.find c2 ~key = Some payload);
+  let s = Cache.stats c in
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Cache.hits;
+  Alcotest.(check int) "nothing stale" 0 s.Cache.stale
+
+let test_cache_corrupt_entry_is_a_miss () =
+  with_cache_dir @@ fun dir ->
+  let c = Cache.create ~dir ~version:"v1" () in
+  let key = Cache.fingerprint [ "corrupt" ] in
+  Cache.store c ~key payload;
+  (* Truncate the entry mid-file: a torn write from a crashed process. *)
+  let path = Filename.concat dir (key ^ ".json") in
+  let oc = open_out path in
+  output_string oc "{\"schema\":\"dotest-ca";
+  close_out oc;
+  (* Fresh handle so the LRU cannot mask the damaged file. *)
+  let c2 = Cache.create ~dir ~version:"v1" () in
+  Alcotest.(check bool) "corrupt entry misses" true (Cache.find c2 ~key = None);
+  let s = Cache.stats c2 in
+  Alcotest.(check int) "counted stale" 1 s.Cache.stale;
+  Alcotest.(check int) "also counted miss" 1 s.Cache.misses;
+  (* And it can be overwritten and found again. *)
+  Cache.store c2 ~key payload;
+  Alcotest.(check bool) "recovers" true (Cache.find c2 ~key = Some payload)
+
+let test_cache_version_mismatch_invalidates () =
+  with_cache_dir @@ fun dir ->
+  let c = Cache.create ~dir ~version:"v1" () in
+  let key = Cache.fingerprint [ "versioned" ] in
+  Cache.store c ~key payload;
+  let c2 = Cache.create ~dir ~version:"v2" () in
+  Alcotest.(check bool) "old version misses" true (Cache.find c2 ~key = None);
+  Alcotest.(check int) "counted stale" 1 (Cache.stats c2).Cache.stale;
+  (* The original handle still reads its own entry. *)
+  let c3 = Cache.create ~dir ~version:"v1" () in
+  Alcotest.(check bool) "same version still hits" true
+    (Cache.find c3 ~key = Some payload)
+
+let test_cache_lru_eviction_counted () =
+  with_cache_dir @@ fun dir ->
+  let c = Cache.create ~capacity:2 ~dir ~version:"v1" () in
+  let key i = Cache.fingerprint [ "entry"; string_of_int i ] in
+  List.iter (fun i -> Cache.store c ~key:(key i) payload) [ 1; 2; 3 ];
+  Alcotest.(check int) "one eviction" 1 (Cache.stats c).Cache.evictions;
+  (* Evicted from memory, not from disk: still findable. *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "still stored" true
+        (Cache.find c ~key:(key i) = Some payload))
+    [ 1; 2; 3 ]
+
+let test_cache_fingerprint_boundaries () =
+  Alcotest.(check bool) "parts cannot alias" true
+    (Cache.fingerprint [ "ab"; "c" ] <> Cache.fingerprint [ "a"; "bc" ]);
+  Alcotest.(check bool) "order matters" true
+    (Cache.fingerprint [ "a"; "b" ] <> Cache.fingerprint [ "b"; "a" ]);
+  Alcotest.(check string) "deterministic"
+    (Cache.fingerprint [ "a"; "b" ])
+    (Cache.fingerprint [ "a"; "b" ]);
+  String.iter
+    (fun ch ->
+      Alcotest.(check bool) "hex digest" true
+        ((ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f')))
+    (Cache.fingerprint [ "x" ])
+
+let test_cache_telemetry_counters () =
+  with_cache_dir @@ fun dir ->
+  let memory = Telemetry.in_memory () in
+  Telemetry.with_sink (Telemetry.memory_sink memory) @@ fun () ->
+  let c = Cache.create ~dir ~version:"v1" () in
+  let key = Cache.fingerprint [ "telemetry" ] in
+  ignore (Cache.find c ~key);
+  Cache.store c ~key payload;
+  ignore (Cache.find c ~key);
+  let m = Telemetry.metrics memory in
+  Alcotest.(check (option int)) "cache.misses counted" (Some 1)
+    (List.assoc_opt "cache.misses" m.Telemetry.Metrics.counters);
+  Alcotest.(check (option int)) "cache.hits counted" (Some 1)
+    (List.assoc_opt "cache.hits" m.Telemetry.Metrics.counters)
+
 let suites =
   [
     ( "util.pool",
@@ -757,6 +866,21 @@ let suites =
           test_json_print_parse_roundtrip;
         Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
         Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+      ] );
+    ( "util.cache",
+      [
+        Alcotest.test_case "store/find round-trip" `Quick
+          test_cache_store_find_roundtrip;
+        Alcotest.test_case "corrupt entry is a miss" `Quick
+          test_cache_corrupt_entry_is_a_miss;
+        Alcotest.test_case "version mismatch invalidates" `Quick
+          test_cache_version_mismatch_invalidates;
+        Alcotest.test_case "LRU eviction counted" `Quick
+          test_cache_lru_eviction_counted;
+        Alcotest.test_case "fingerprint boundaries" `Quick
+          test_cache_fingerprint_boundaries;
+        Alcotest.test_case "telemetry counters" `Quick
+          test_cache_telemetry_counters;
       ] );
     ( "util.telemetry",
       [
