@@ -12,7 +12,10 @@
                      one JSON object on stdout and exit (machine-readable
                      perf trajectory; nothing else is printed)
      --cache DIR     persist per-macro results under DIR; a warm --json
-                     run reports cache "warm" with nonzero hits           *)
+                     run reports cache "warm" with nonzero hits
+     --deadline S    wall-clock budget per fault-class simulation attempt
+     --deadline-iterations N
+                     Newton-iteration budget per attempt (deterministic)  *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let timings = Array.exists (( = ) "--timings") Sys.argv
@@ -39,6 +42,26 @@ let cache =
   in
   scan 1
 
+let flag_value name parse =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then
+      match parse Sys.argv.(i + 1) with
+      | Some v -> Some v
+      | None -> failwith (name ^ " expects a number")
+    else scan (i + 1)
+  in
+  scan 1
+
+let deadline =
+  match
+    ( flag_value "--deadline" float_of_string_opt,
+      flag_value "--deadline-iterations" int_of_string_opt )
+  with
+  | None, None -> None
+  | wall_seconds, max_iterations ->
+    Some { Util.Watchdog.wall_seconds; max_iterations }
+
 let () = Util.Pool.set_jobs jobs
 
 let config =
@@ -47,6 +70,7 @@ let config =
        default |> with_defects 5_000 |> with_good_space_dies 16)
    else Core.Pipeline.Config.default)
   |> Core.Pipeline.Config.with_cache_handle cache
+  |> Core.Pipeline.Config.with_deadline deadline
 
 let banner title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -470,9 +494,11 @@ let parallel_scaling () =
    Schema 2 added the run-health counters of the resilience layer; schema 3
    embedded the aggregated telemetry metrics (counter totals are
    deterministic across job counts, so they diff cleanly between PRs)
-   and moved emission to Util.Json; schema 4 adds the result-cache counters
+   and moved emission to Util.Json; schema 4 added the result-cache counters
    ("cache": state cold|warm|off plus hits/misses/stale/evictions) and
-   emits metrics through Core.Codec, the library's single JSON surface. *)
+   emitted metrics through Core.Codec, the library's single JSON surface;
+   schema 5 adds "write_errors" under "cache" and the "survival" object
+   (configured deadline budgets and the deadline-expiry counter). *)
 let json_run () =
   let macro = Adc.Comparator.macro Adc.Comparator.default_options in
   ignore (Lazy.force macro.Macro.Macro_cell.cell);
@@ -506,7 +532,7 @@ let json_run () =
   let json =
     Util.Json.Obj
       [
-        "schema", Util.Json.String "dotest-bench/4";
+        "schema", Util.Json.String "dotest-bench/5";
         "macro", Util.Json.String "comparator";
         "mode", Util.Json.String (if quick then "quick" else "full");
         "jobs", Util.Json.Int jobs;
@@ -545,6 +571,26 @@ let json_run () =
               "total_s", Util.Json.Float total_s;
             ] );
         "cache", cache_json;
+        ( "survival",
+          Util.Json.Obj
+            [
+              ( "deadline_wall_s",
+                match deadline with
+                | Some { Util.Watchdog.wall_seconds = Some s; _ } ->
+                  Util.Json.Float s
+                | Some _ | None -> Util.Json.Null );
+              ( "deadline_iterations",
+                match deadline with
+                | Some { Util.Watchdog.max_iterations = Some n; _ } ->
+                  Util.Json.Int n
+                | Some _ | None -> Util.Json.Null );
+              ( "deadline_expired",
+                Util.Json.Int
+                  (try
+                     List.assoc "watchdog.deadline_exceeded"
+                       m.Util.Telemetry.Metrics.counters
+                   with Not_found -> 0) );
+            ] );
         "metrics", Core.Codec.metrics_to_json m;
       ]
   in

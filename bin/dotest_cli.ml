@@ -10,13 +10,15 @@ let setup_logging verbose =
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
 let config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict ~failure_budget
-    ~inject_failures ~telemetry ~cache =
+    ~inject_failures ~telemetry ~cache ?(deadline = None) ?(checkpoint = None)
+    () =
   Core.Pipeline.Config.(
     default |> with_defects defects |> with_good_space_dies dies
     |> with_sigma sigma |> with_seed seed |> with_max_retries max_retries
     |> with_strict strict |> with_failure_budget failure_budget
     |> with_inject_failures inject_failures |> with_telemetry telemetry
-    |> with_cache_handle cache)
+    |> with_cache_handle cache |> with_deadline deadline
+    |> with_checkpoint checkpoint)
 
 let defaults = Core.Pipeline.Config.default
 
@@ -145,6 +147,65 @@ let cache_handle ~cache_dir ~no_cache =
       (fun dir -> Util.Cache.create ~dir ~version:Core.Codec.version ())
       cache_dir
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for each fault-class simulation attempt; an \
+           expired attempt is retried with escalated solver options and a \
+           doubled budget, and recorded as unresolved if the ladder runs \
+           out. Wall-clock deadlines are machine-dependent: use \
+           $(b,--deadline-iterations) when byte-identical results matter.")
+
+let deadline_iterations =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-iterations" ] ~docv:"N"
+        ~doc:
+          "Newton-iteration budget for each fault-class simulation attempt \
+           (doubled per escalated retry). A pure function of the \
+           computation, so results stay byte-identical for any $(b,--jobs) \
+           value and across machines.")
+
+let resume =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Restore fault-class outcomes checkpointed by an earlier \
+           interrupted run (requires $(b,--cache)) instead of re-simulating \
+           them. A resumed run prints the same coverage tables, health \
+           counters and bounds byte-for-byte as an uninterrupted one.")
+
+let no_checkpoint =
+  Arg.(
+    value & flag
+    & info [ "no-checkpoint" ]
+        ~doc:
+          "Disable incremental checkpointing of fault-class outcomes \
+           (checkpointing is on by default whenever $(b,--cache) is set).")
+
+let deadline_of ~deadline ~deadline_iterations =
+  match deadline, deadline_iterations with
+  | None, None -> None
+  | wall_seconds, max_iterations ->
+    Some { Util.Watchdog.wall_seconds; max_iterations }
+
+(* Checkpointing rides the result cache, so it is on exactly when a cache
+   is; --resume without one cannot restore anything and says so. *)
+let checkpoint_of ~cache ~resume ~no_checkpoint =
+  match cache with
+  | None ->
+    if resume then
+      Format.eprintf
+        "dotest: --resume requires --cache; running from scratch@.";
+    None
+  | Some _ when no_checkpoint -> None
+  | Some _ -> Some (Core.Checkpoint.create ~resume ())
+
 let format_arg =
   Arg.(
     value
@@ -199,13 +260,25 @@ let rec root_cause = function
   | Util.Pool.Worker_failure (_, e) -> root_cause e
   | e -> e
 
+(* Exit 4 is the "interrupted, resumable" status: distinct from failure
+   (3) so wrappers can tell "re-run with --resume" from "give up". *)
+let interrupted reason =
+  Format.eprintf
+    "dotest: interrupted (%s); completed work is checkpointed — re-run with \
+     --resume to continue@."
+    reason;
+  exit 4
+
 let handle_failures f =
-  try f ()
-  with
+  try f () with
+  | Util.Watchdog.Interrupted reason -> interrupted reason
   | ( Util.Pool.Worker_failure _ | Util.Resilience.Budget_exhausted _
     | Macro.Evaluate.Simulation_failed _ ) as e ->
-    Format.eprintf "dotest: %s@." (Printexc.to_string (root_cause e));
-    exit 3
+    (match root_cause e with
+    | Util.Watchdog.Interrupted reason -> interrupted reason
+    | cause ->
+      Format.eprintf "dotest: %s@." (Printexc.to_string cause);
+      exit 3)
 
 let print_health ~format analyses =
   let health = Core.Pipeline.run_health analyses in
@@ -224,14 +297,19 @@ let print_health ~format analyses =
 
 let comparator_cmd =
   let run verbose jobs defects dies sigma seed dft strict max_retries
-      failure_budget inject_failures trace metrics cache_dir no_cache format =
+      failure_budget inject_failures trace metrics cache_dir no_cache deadline
+      deadline_iterations resume no_checkpoint format =
     setup_logging verbose;
     Util.Pool.set_jobs jobs;
+    Util.Watchdog.install_signal_handlers ();
     with_telemetry ~trace ~metrics @@ fun sink memory ->
     let cache = cache_handle ~cache_dir ~no_cache in
+    let checkpoint = checkpoint_of ~cache ~resume ~no_checkpoint in
     let config =
       config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict
         ~failure_budget ~inject_failures ~telemetry:sink ~cache
+        ~deadline:(deadline_of ~deadline ~deadline_iterations)
+        ~checkpoint ()
     in
     let options =
       if dft then Adc.Comparator.dft_options else Adc.Comparator.default_options
@@ -250,6 +328,7 @@ let comparator_cmd =
       (Core.Report.figure3 analysis);
     print_health ~format [ analysis ];
     print_cache_stats ~format cache;
+    print_table ~format "Run survival" (Core.Report.run_survival config);
     print_metrics ~format memory
   in
   Cmd.v
@@ -258,18 +337,24 @@ let comparator_cmd =
     Term.(
       const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ dft $ strict
       $ max_retries $ failure_budget $ inject_failures $ trace $ metrics_flag
-      $ cache_dir $ no_cache $ format_arg)
+      $ cache_dir $ no_cache $ deadline_arg $ deadline_iterations $ resume
+      $ no_checkpoint $ format_arg)
 
 let global_cmd =
   let run verbose jobs defects dies sigma seed dft strict max_retries
-      failure_budget inject_failures trace metrics cache_dir no_cache format =
+      failure_budget inject_failures trace metrics cache_dir no_cache deadline
+      deadline_iterations resume no_checkpoint format =
     setup_logging verbose;
     Util.Pool.set_jobs jobs;
+    Util.Watchdog.install_signal_handlers ();
     with_telemetry ~trace ~metrics @@ fun sink memory ->
     let cache = cache_handle ~cache_dir ~no_cache in
+    let checkpoint = checkpoint_of ~cache ~resume ~no_checkpoint in
     let config =
       config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict
         ~failure_budget ~inject_failures ~telemetry:sink ~cache
+        ~deadline:(deadline_of ~deadline ~deadline_iterations)
+        ~checkpoint ()
     in
     let measures = if dft then Dft.Measures.all_measures else [] in
     let macros = Dft.Measures.macro_set ~measures in
@@ -287,6 +372,7 @@ let global_cmd =
     print_health ~format analyses;
     print_table ~format "Coverage bounds" (Core.Report.coverage_bounds g);
     print_cache_stats ~format cache;
+    print_table ~format "Run survival" (Core.Report.run_survival config);
     print_metrics ~format memory
   in
   Cmd.v
@@ -295,13 +381,15 @@ let global_cmd =
     Term.(
       const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ dft $ strict
       $ max_retries $ failure_budget $ inject_failures $ trace $ metrics_flag
-      $ cache_dir $ no_cache $ format_arg)
+      $ cache_dir $ no_cache $ deadline_arg $ deadline_iterations $ resume
+      $ no_checkpoint $ format_arg)
 
 let dft_cmd =
   let run verbose jobs defects dies sigma seed trace metrics cache_dir no_cache
       format =
     setup_logging verbose;
     Util.Pool.set_jobs jobs;
+    Util.Watchdog.install_signal_handlers ();
     with_telemetry ~trace ~metrics @@ fun sink memory ->
     let cache = cache_handle ~cache_dir ~no_cache in
     let config =
@@ -309,8 +397,12 @@ let dft_cmd =
         ~max_retries:defaults.Core.Pipeline.Config.max_retries
         ~strict:false ~failure_budget:None ~inject_failures:None
         ~telemetry:sink ~cache
+        ~checkpoint:(checkpoint_of ~cache ~resume:false ~no_checkpoint:false)
+        ()
     in
-    let original, improved = Dft.Measures.compare_coverage ~config () in
+    let original, improved =
+      handle_failures (fun () -> Dft.Measures.compare_coverage ~config ())
+    in
     print_table ~format "Fig. 4: before DfT" (Core.Report.figure4 original);
     print_table ~format "Fig. 5: after DfT" (Core.Report.figure4 improved);
     Format.printf "@.DfT measures applied:@.";

@@ -238,6 +238,11 @@ let newton ~options ~mode ~alpha ~t compiled x0 =
   let rec iterate remaining =
     if remaining = 0 then None
     else begin
+      (* Deadline metering on the hot path: one domain-local read when no
+         watchdog is armed. Expiry raises out of every fallback
+         (gmin/source stepping included) — a deadline is a budget for the
+         whole solve, not for one Newton attempt. *)
+      Util.Watchdog.tick ();
       build ~options ~mode ~alpha ~t compiled x a rhs;
       match Linear.solve a rhs with
       | exception Linear.Singular -> None

@@ -4,7 +4,16 @@
     damped Newton–Raphson with a gmin shunt on every node, gmin stepping
     and source stepping as fallbacks — the standard SPICE convergence
     aids, which matter here because injected faults routinely produce
-    floating nodes (opens) and near-shorts. *)
+    floating nodes (opens) and near-shorts.
+
+    Every Newton iteration spends one tick of the ambient
+    {!Util.Watchdog} budget, so a caller that arms a deadline with
+    [Util.Watchdog.with_limits] around an analysis bounds it in solver
+    iterations and/or wall-clock time; expiry raises
+    [Util.Watchdog.Deadline_exceeded] out of the analysis (through the
+    convergence fallbacks and transient sub-stepping — the budget covers
+    the whole analysis, not one Newton attempt). With no deadline armed
+    the metering is a single domain-local read per iteration. *)
 
 exception No_convergence of string
 

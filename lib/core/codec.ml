@@ -3,8 +3,10 @@ module J = Util.Json
 type 'a decoder = J.t -> ('a, string) result
 
 (* Bump whenever simulation semantics or any encoding below changes:
-   every previously written cache entry then reads as stale. *)
-let version = "dotest-codec/1"
+   every previously written cache entry then reads as stale.
+   2: checkpoint partial-outcome payloads; cache stats gained
+      write_errors; deadline limits folded into cache keys. *)
+let version = "dotest-codec/2"
 
 (* --- decoder plumbing --------------------------------------------------- *)
 
@@ -424,6 +426,31 @@ let analysis_of_json json =
       outcomes_non_catastrophic;
     }
 
+(* --- checkpoint partial payloads ---------------------------------------- *)
+
+type partial_outcome = {
+  section : string;
+  index : int;
+  outcome : Macro.Evaluate.outcome;
+}
+
+let partial_outcome_to_json p =
+  J.Obj
+    [
+      "section", J.String p.section;
+      "index", J.Int p.index;
+      "outcome", outcome_to_json p.outcome;
+    ]
+
+let partial_outcome_of_json json =
+  let* section = str_field "section" json in
+  let* index = int_field "index" json in
+  let* outcome = Result.bind (field "outcome" json) outcome_of_json in
+  Ok { section; index; outcome }
+
+let partial_outcomes_to_json ps = J.List (List.map partial_outcome_to_json ps)
+let partial_outcomes_of_json json = list_of partial_outcome_of_json json
+
 (* --- fingerprints ------------------------------------------------------- *)
 
 (* Floats are rendered in hex ("%h") so fingerprinting never loses bits
@@ -571,4 +598,5 @@ let cache_stats_to_json ~state (s : Util.Cache.stats) =
       "misses", J.Int s.Util.Cache.misses;
       "stale", J.Int s.Util.Cache.stale;
       "evictions", J.Int s.Util.Cache.evictions;
+      "write_errors", J.Int s.Util.Cache.write_errors;
     ]

@@ -74,6 +74,24 @@ type analysis = {
 val analysis_to_json : analysis -> Util.Json.t
 val analysis_of_json : analysis decoder
 
+(** {1 Checkpoint partial payloads}
+
+    The incremental-checkpoint schema (see [Checkpoint]): a flat list of
+    completed fault-class outcomes, each tagged with the evaluation
+    [section] it belongs to (["cat"] / ["ncat"]) and its class [index]
+    within that section. Persisted through [Util.Cache] under the
+    macro's cache key suffixed ["-partial"], so it inherits the cache's
+    envelope versioning, atomic rename and degraded-write containment. *)
+
+type partial_outcome = {
+  section : string;
+  index : int;
+  outcome : Macro.Evaluate.outcome;
+}
+
+val partial_outcomes_to_json : partial_outcome list -> Util.Json.t
+val partial_outcomes_of_json : partial_outcome list decoder
+
 (** {1 Fingerprints}
 
     Stable content fingerprints of the inputs a per-macro result depends
@@ -103,7 +121,7 @@ val table_to_json : Util.Table.t -> Util.Json.t
 (** [metrics_to_json m] — [{counters: {...}, gauges: {...}}]. *)
 val metrics_to_json : Util.Telemetry.Metrics.t -> Util.Json.t
 
-(** [cache_stats_to_json ~state s] — the four counters plus
+(** [cache_stats_to_json ~state s] — the five counters plus
     ["state": "cold"|"warm"|"off"]. *)
 val cache_stats_to_json :
   state:[ `Cold | `Warm | `Off ] -> Util.Cache.stats -> Util.Json.t

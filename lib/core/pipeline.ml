@@ -12,6 +12,8 @@ module Config = struct
     inject_failures : float option;
     telemetry : Util.Telemetry.sink;
     cache : Util.Cache.t option;
+    deadline : Util.Watchdog.limits option;
+    checkpoint : Checkpoint.t option;
   }
 
   let default =
@@ -28,6 +30,8 @@ module Config = struct
       inject_failures = None;
       telemetry = Util.Telemetry.null;
       cache = None;
+      deadline = None;
+      checkpoint = None;
     }
 
   let with_tech tech config = { config with tech }
@@ -53,6 +57,8 @@ module Config = struct
     }
 
   let with_cache_handle cache config = { config with cache }
+  let with_deadline deadline config = { config with deadline }
+  let with_checkpoint checkpoint config = { config with checkpoint }
 end
 
 open Config
@@ -171,6 +177,19 @@ let cache_key config (macro : Macro.Macro_cell.t) ~nominal_netlist ~cell =
       (match config.inject_failures with
       | None -> "inject=none"
       | Some fraction -> Printf.sprintf "inject=%h" fraction);
+      (* A deadline changes which classes end unresolved, so it is part
+         of the content address. (Wall-clock caps are machine-dependent
+         on top of that — see the .mli caveat.) *)
+      (match config.deadline with
+      | None -> "deadline=none"
+      | Some l ->
+        Printf.sprintf "deadline=wall:%s,iters:%s"
+          (match l.Util.Watchdog.wall_seconds with
+          | None -> "none"
+          | Some s -> Printf.sprintf "%h" s)
+          (match l.Util.Watchdog.max_iterations with
+          | None -> "none"
+          | Some n -> string_of_int n));
     ]
 
 let cached_analysis config (macro : Macro.Macro_cell.t) ~key =
@@ -300,15 +319,47 @@ let analyze config (macro : Macro.Macro_cell.t) =
           ~tech:config.tech macro good_prng)
   in
   let inject = injection_of config in
-  let evaluate classes =
+  (* Checkpointing stores partials through the result cache, so it is
+     inert without one (the CLI warns; a library caller reads the
+     survival stats). *)
+  let ckpt =
+    match config.checkpoint, config.cache, key with
+    | Some registry, Some cache, Some key ->
+      Some (registry, Checkpoint.handle registry ~cache ~key)
+    | _ -> None
+  in
+  let evaluate ~section classes =
+    let resume =
+      match ckpt with
+      | Some (registry, h) when Checkpoint.resume_enabled registry ->
+        Some (fun index -> Checkpoint.restore h ~section ~index)
+      | Some _ | None -> None
+    in
+    let on_outcome =
+      Option.map
+        (fun (_, h) index o -> Checkpoint.record h ~section ~index o)
+        ckpt
+    in
     Macro.Evaluate.run ~retries:config.max_retries ?inject
-      ~strict:config.strict ~macro ~good classes
+      ?deadline:config.deadline ?resume ?on_outcome ~strict:config.strict
+      ~macro ~good classes
   in
-  let outcomes_catastrophic =
-    timed "evaluate-cat" (fun () -> evaluate classes_catastrophic)
-  in
-  let outcomes_non_catastrophic =
-    timed "evaluate-ncat" (fun () -> evaluate classes_non_catastrophic)
+  (* The flush finalizer is what makes an interrupt lose at most the
+     in-flight classes: the pool drains them, the exception unwinds
+     through here, and everything recorded so far hits disk. *)
+  let outcomes_catastrophic, outcomes_non_catastrophic =
+    (match ckpt with
+    | None -> fun f -> f ()
+    | Some (_, h) -> fun f -> Fun.protect ~finally:(fun () -> Checkpoint.flush h) f)
+    @@ fun () ->
+    let cat =
+      timed "evaluate-cat" (fun () -> evaluate ~section:"cat" classes_catastrophic)
+    in
+    let ncat =
+      timed "evaluate-ncat" (fun () ->
+          evaluate ~section:"ncat" classes_non_catastrophic)
+    in
+    cat, ncat
   in
   let health =
     health_of ~macro_name:macro.Macro.Macro_cell.name
@@ -329,6 +380,8 @@ let analyze config (macro : Macro.Macro_cell.t) =
     }
   in
   Option.iter (fun key -> store_analysis config analysis ~key) key;
+  (* The full analysis entry supersedes the partial; retire it. *)
+  Option.iter (fun (_, h) -> Checkpoint.finish h) ckpt;
   finish ~from_cache:false analysis
 
 let analyze_all config macros =

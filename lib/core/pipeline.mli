@@ -47,6 +47,18 @@ module Config : sig
         (** persistent result cache consulted per macro before any
             simulation work is spawned (default [None] = simulate
             everything). See {!analyze} for the determinism contract. *)
+    deadline : Util.Watchdog.limits option;
+        (** per-attempt budget for each fault-class simulation, in
+            solver iterations and/or wall-clock seconds; the budget
+            doubles with every escalated retry. Part of the cache key —
+            a deadline changes which classes end unresolved. Iteration
+            caps keep the determinism contract; wall-clock caps are
+            best-effort (default [None] = unbounded) *)
+    checkpoint : Checkpoint.t option;
+        (** incremental checkpoint/resume of fault-class outcomes
+            (default [None] = off). Requires [cache] — partials are
+            stored through it under the macro's key — and is inert
+            without one. See {!Checkpoint}. *)
   }
 
   val default : t
@@ -73,6 +85,13 @@ module Config : sig
       useful when the caller also wants to read {!Util.Cache.stats}
       after the run. *)
   val with_cache_handle : Util.Cache.t option -> t -> t
+
+  val with_deadline : Util.Watchdog.limits option -> t -> t
+
+  (** [with_checkpoint (Some registry) config] enables incremental
+      checkpointing; keep the registry to read {!Checkpoint.stats}
+      after the run. *)
+  val with_checkpoint : Checkpoint.t option -> t -> t
 end
 
 (** Containment counters for one macro, plus stage wall-clock times.
@@ -132,11 +151,22 @@ val run_health : macro_analysis list -> run_health
     re-checked on hits, so a cached degraded run still raises under a
     tighter budget.
 
+    With [config.checkpoint] set (and a cache), completed fault-class
+    outcomes are persisted incrementally during evaluation and — with
+    resume enabled on the registry — restored instead of re-simulated,
+    so an interrupted run resumed later produces the same bytes as an
+    uninterrupted one (see {!Checkpoint}).
+
     @raise Util.Resilience.Budget_exhausted when the macro alone exceeds
     [config.failure_budget].
     @raise Util.Pool.Worker_failure wrapping
     [Macro.Evaluate.Simulation_failed] when [config.strict] and a class
-    is unresolved. *)
+    is unresolved.
+    @raise Util.Watchdog.Interrupted when cooperative shutdown was
+    requested (SIGINT/SIGTERM via
+    [Util.Watchdog.install_signal_handlers]): in-flight classes drain,
+    checkpoints and partial flushes land, and the exception unwinds for
+    the caller to exit with a resumable status. *)
 val analyze : Config.t -> Macro.Macro_cell.t -> macro_analysis
 
 (** [analyze_all config macros] analyses independent macros concurrently

@@ -286,7 +286,43 @@ let cache_stats (s : Util.Cache.stats) =
       "misses", s.Util.Cache.misses;
       "stale", s.Util.Cache.stale;
       "evictions", s.Util.Cache.evictions;
+      "write errors", s.Util.Cache.write_errors;
     ];
+  t
+
+let run_survival (config : Pipeline.Config.t) =
+  let t =
+    Util.Table.create
+      ~columns:[ "survival", Util.Table.Left; "value", Util.Table.Right ]
+  in
+  let wall, iterations =
+    match config.Pipeline.Config.deadline with
+    | None -> "off", "off"
+    | Some l ->
+      ( (match l.Util.Watchdog.wall_seconds with
+        | None -> "off"
+        | Some s -> Printf.sprintf "%g s" s),
+        (match l.Util.Watchdog.max_iterations with
+        | None -> "off"
+        | Some n -> Printf.sprintf "%d iterations" n) )
+  in
+  Util.Table.add_row t [ "deadline (wall-clock)"; wall ];
+  Util.Table.add_row t [ "deadline (newton)"; iterations ];
+  (match config.Pipeline.Config.checkpoint with
+  | None -> Util.Table.add_row t [ "checkpointing"; "off" ]
+  | Some registry ->
+    let s = Checkpoint.stats registry in
+    Util.Table.add_row t
+      [
+        "checkpointing";
+        (if Checkpoint.resume_enabled registry then "on (resume)" else "on");
+      ];
+    Util.Table.add_row t
+      [ "classes restored"; string_of_int s.Checkpoint.restored ];
+    Util.Table.add_row t
+      [ "classes checkpointed"; string_of_int s.Checkpoint.recorded ];
+    Util.Table.add_row t
+      [ "checkpoint flushes"; string_of_int s.Checkpoint.flushes ]);
   t
 
 (* The [`Json] schema is owned by {!Codec}: every JSON emitter of the

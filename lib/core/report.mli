@@ -46,10 +46,18 @@ val metrics : Util.Telemetry.Metrics.t -> Util.Table.t
 val cache_state : Util.Cache.stats -> [ `Cold | `Warm ]
 
 (** Result-cache counters of one run: state (cold/warm), hits, misses,
-    stale entries and LRU evictions. Unlike the coverage artefacts this
-    table is {e not} part of the warm-vs-cold byte-identity contract —
-    its whole point is to differ between those runs. *)
+    stale entries, LRU evictions and contained write errors. Unlike the
+    coverage artefacts this table is {e not} part of the warm-vs-cold
+    byte-identity contract — its whole point is to differ between those
+    runs. *)
 val cache_stats : Util.Cache.stats -> Util.Table.t
+
+(** Run-survival settings and counters: the configured deadlines, the
+    checkpointing mode, and (when checkpointing is on) how many classes
+    were restored versus freshly checkpointed. Like {!cache_stats}, this
+    table deliberately differs between a resumed run and a clean one —
+    it is excluded from byte-identity comparisons. *)
+val run_survival : Pipeline.Config.t -> Util.Table.t
 
 (** [render ~format table] is the single rendering entry point behind the
     CLI's [--format {text,json,csv}]: every report artefact above is a

@@ -54,13 +54,19 @@ let gross_signature =
   { Signature.voltage = Signature.Output_stuck_at;
     currents = Signature.all_current }
 
-let evaluate_class ?(retries = default_retries) ?inject ?(index = 0)
+let evaluate_class ?(retries = default_retries) ?inject
+    ?(deadline = Util.Watchdog.no_limits) ?(index = 0)
     ~(macro : Macro_cell.t) ~nominal ~good ~golden fc =
   let faulty_netlist =
     Fault.Inject.inject_instance nominal fc.Fault.Collapse.representative
   in
+  (* A deadline expiry is a known, contained failure mode of a
+     pathological class — exactly like a convergence failure, it walks the
+     escalation ladder (with a doubled budget per retry, see below) and
+     ends Unresolved if the ladder runs out. *)
   let classify = function
-    | Circuit.Engine.No_convergence _ -> Util.Resilience.Retryable
+    | Circuit.Engine.No_convergence _ | Util.Watchdog.Deadline_exceeded _ ->
+      Util.Resilience.Retryable
     | _ -> Util.Resilience.Fatal
   in
   let measure ~attempt =
@@ -68,6 +74,13 @@ let evaluate_class ?(retries = default_retries) ?inject ?(index = 0)
     | Some inj when injection_hits inj ~index ~attempt ->
       raise (Circuit.Engine.No_convergence "injected failure (test hook)")
     | Some _ | None -> ());
+    (* Each escalated retry doubles the deadline along with loosening the
+       options: a class whose first attempt expired gets both an easier
+       problem and a larger budget, so the ladder can actually resolve
+       it. The scaling is a pure function of the attempt number. *)
+    Util.Watchdog.with_limits
+      (Util.Watchdog.scale deadline ~factor:(1 lsl attempt))
+    @@ fun () ->
     if attempt = 0 then macro.Macro_cell.measure faulty_netlist
     else
       (* Walk the documented escalation ladder: each retry loosens the
@@ -97,6 +110,7 @@ let evaluate_class ?(retries = default_retries) ?inject ?(index = 0)
     let what =
       match error with
       | Circuit.Engine.No_convergence what -> what
+      | Util.Watchdog.Deadline_exceeded e -> Util.Watchdog.expiry_message e
       | e -> Printexc.to_string e
     in
     Log.debug (fun m ->
@@ -109,8 +123,8 @@ let evaluate_class ?(retries = default_retries) ?inject ?(index = 0)
       status = Unresolved { attempts; error = what };
     }
 
-let run ?jobs ?retries ?inject ?(strict = false) ~(macro : Macro_cell.t) ~good
-    classes =
+let run ?jobs ?retries ?inject ?deadline ?resume ?on_outcome
+    ?(strict = false) ~(macro : Macro_cell.t) ~good classes =
   (* The nominal netlist is built once and shared by every class: injection
      copies it before mutating, so parallel workers only ever read it. *)
   let nominal =
@@ -127,10 +141,34 @@ let run ?jobs ?retries ?inject ?(strict = false) ~(macro : Macro_cell.t) ~good
           ]
         "evaluate.class"
       @@ fun () ->
-      let outcome =
-        evaluate_class ?retries ?inject ~index ~macro ~nominal ~good ~golden fc
+      (* A restored outcome is only trusted when it is provably for this
+         class: the checkpointed fault class must equal the recomputed
+         one (class derivation is deterministic, so a mismatch means the
+         checkpoint belongs to different inputs — re-simulate). *)
+      let restored =
+        match resume with
+        | None -> None
+        | Some find ->
+          (match find index with
+          | Some (o : outcome) when o.fault_class = fc -> Some o
+          | Some _ | None -> None)
       in
-      Util.Telemetry.count "classes_simulated";
+      let outcome =
+        match restored with
+        | Some o ->
+          Util.Telemetry.count "classes_restored";
+          Util.Telemetry.add_span_attrs
+            [ "restored", Util.Telemetry.Bool true ];
+          o
+        | None ->
+          let o =
+            evaluate_class ?retries ?inject ?deadline ~index ~macro ~nominal
+              ~good ~golden fc
+          in
+          Util.Telemetry.count "classes_simulated";
+          Option.iter (fun record -> record index o) on_outcome;
+          o
+      in
       (* Resolution status and escalation depth are attached to the span,
          so a trace answers "which classes needed the ladder" directly. *)
       (let status, attempts =

@@ -63,6 +63,7 @@ type injection = { seed : int; fraction : float }
 val evaluate_class :
   ?retries:int ->
   ?inject:injection ->
+  ?deadline:Util.Watchdog.limits ->
   ?index:int ->
   macro:Macro_cell.t ->
   nominal:Circuit.Netlist.t ->
@@ -77,11 +78,33 @@ val evaluate_class :
     process-wide setting); outcomes keep the input order, so the result is
     identical for any job count. With [~strict:true], containment is off:
     the first (lowest-indexed) unresolved class raises
-    {!Simulation_failed} wrapped in [Util.Pool.Worker_failure]. *)
+    {!Simulation_failed} wrapped in [Util.Pool.Worker_failure].
+
+    [?deadline] bounds {e each attempt} of each class's simulation in
+    solver iterations and/or wall-clock seconds (see
+    {!Util.Watchdog.limits}); the budget doubles with every escalated
+    retry ([scale ~factor:(2^attempt)]). An expiry is retried along the
+    ladder like a convergence failure and, if the ladder runs out,
+    recorded as {!Unresolved} with the (deterministic) expiry message.
+    Iteration caps preserve the any-job-count byte-identity contract;
+    wall-clock caps are machine-dependent and best-effort.
+
+    [?resume] and [?on_outcome] are the checkpoint hooks (see
+    [Core.Checkpoint]): [resume index] may return a previously persisted
+    outcome for the class at [index] — it is used {e only} if its fault
+    class equals the recomputed one, so a checkpoint from different
+    inputs can never corrupt a run — and [on_outcome index o] is called
+    for every freshly simulated outcome (from worker domains; the
+    callback must synchronize internally). Restored classes count on the
+    [classes_restored] telemetry counter instead of
+    [classes_simulated]. *)
 val run :
   ?jobs:int ->
   ?retries:int ->
   ?inject:injection ->
+  ?deadline:Util.Watchdog.limits ->
+  ?resume:(int -> outcome option) ->
+  ?on_outcome:(int -> outcome -> unit) ->
   ?strict:bool ->
   macro:Macro_cell.t ->
   good:Good_space.t ->

@@ -1,8 +1,15 @@
 let schema = "dotest-cache/1"
 
-type stats = { hits : int; misses : int; stale : int; evictions : int }
+type stats = {
+  hits : int;
+  misses : int;
+  stale : int;
+  evictions : int;
+  write_errors : int;
+}
 
-let no_stats = { hits = 0; misses = 0; stale = 0; evictions = 0 }
+let no_stats =
+  { hits = 0; misses = 0; stale = 0; evictions = 0; write_errors = 0 }
 
 (* The LRU keeps decoded payloads keyed by content address; [tick] is a
    logical clock giving every touch a recency stamp. Guarded by one
@@ -21,6 +28,8 @@ type t = {
   mutable misses : int;
   mutable stale : int;
   mutable evictions : int;
+  mutable write_errors : int;
+  mutable warned_write : bool;
 }
 
 let rec mkdir_p path =
@@ -47,6 +56,8 @@ let create ?(capacity = 128) ~dir ~version () =
     misses = 0;
     stale = 0;
     evictions = 0;
+    write_errors = 0;
+    warned_write = false;
   }
 
 let dir t = t.cache_dir
@@ -78,7 +89,22 @@ let count t name =
   | "misses" -> t.misses <- t.misses + 1
   | "stale" -> t.stale <- t.stale + 1
   | "evictions" -> t.evictions <- t.evictions + 1
+  | "write_errors" -> t.write_errors <- t.write_errors + 1
   | _ -> ()
+
+(* Degraded mode: a cache that cannot be written (full disk, read-only
+   directory, revoked permissions) must behave exactly like a cache that
+   never hits — counted, warned about once, and otherwise silent. *)
+let write_failed t ~what =
+  count t "write_errors";
+  if not t.warned_write then begin
+    t.warned_write <- true;
+    Printf.eprintf
+      "dotest: cache write failed under %s (%s); continuing without \
+       persistence\n\
+       %!"
+      t.cache_dir what
+  end
 
 let touch t key entry =
   t.tick <- t.tick + 1;
@@ -176,25 +202,41 @@ let store t ~key payload =
       (Printf.sprintf ".tmp.%s.%d" key (Unix.getpid ()))
   in
   match open_out_bin tmp with
-  | exception Sys_error _ -> ()
+  | exception Sys_error what -> write_failed t ~what
   | oc ->
     let written =
       match
         output_string oc (Json.to_string envelope);
-        output_char oc '\n'
+        output_char oc '\n';
+        (* close_out surfaces the buffered-write errors that
+           close_out_noerr would swallow — ENOSPC typically shows up
+           here, not at output time. *)
+        close_out oc
       with
-      | () ->
+      | () -> true
+      | exception Sys_error what ->
         close_out_noerr oc;
-        true
-      | exception Sys_error _ ->
-        close_out_noerr oc;
+        write_failed t ~what;
         false
     in
     if written then (
       try Sys.rename tmp (entry_path t key)
-      with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()))
+      with Sys_error what ->
+        write_failed t ~what;
+        (try Sys.remove tmp with Sys_error _ -> ()))
     else try Sys.remove tmp with Sys_error _ -> ()
+
+let remove t ~key =
+  locked t @@ fun () ->
+  Hashtbl.remove t.lru key;
+  try Sys.remove (entry_path t key) with Sys_error _ -> ()
 
 let stats t =
   locked t @@ fun () ->
-  { hits = t.hits; misses = t.misses; stale = t.stale; evictions = t.evictions }
+  {
+    hits = t.hits;
+    misses = t.misses;
+    stale = t.stale;
+    evictions = t.evictions;
+    write_errors = t.write_errors;
+  }

@@ -43,8 +43,18 @@ type t
 (** Counter snapshot of one handle. [hits] counts memory and disk hits
     alike; [stale] entries (bad schema, bad version, corrupt file) are
     {e also} counted under [misses] — a stale entry behaves exactly like
-    an absent one. *)
-type stats = { hits : int; misses : int; stale : int; evictions : int }
+    an absent one. [write_errors] counts stores that could not be
+    persisted (full disk, read-only directory): each is contained —
+    warned about once per handle on stderr, counted on the
+    [cache.write_errors] telemetry counter — and the cache degrades to
+    one that never hits instead of failing the run. *)
+type stats = {
+  hits : int;
+  misses : int;
+  stale : int;
+  evictions : int;
+  write_errors : int;
+}
 
 val no_stats : stats
 
@@ -69,9 +79,14 @@ val fingerprint : string list -> string
 val find : t -> key:string -> Json.t option
 
 (** [store t ~key payload] writes the enveloped payload atomically and
-    promotes it into the LRU. I/O errors are contained: a cache that
-    cannot be written degrades to a cache that never hits. *)
+    promotes it into the LRU. I/O errors are contained as degraded-mode
+    writes (see {!stats}): never raised mid-run. *)
 val store : t -> key:string -> Json.t -> unit
+
+(** [remove t ~key] deletes the entry from the LRU and the directory
+    (missing entries and I/O errors are ignored). Used to retire
+    checkpoint partials once the full entry is published. *)
+val remove : t -> key:string -> unit
 
 (** [stats t] — the handle's counters so far. *)
 val stats : t -> stats

@@ -42,6 +42,16 @@ let apply_wrapped f i x =
     let bt = Printexc.get_raw_backtrace () in
     Printexc.raise_with_backtrace (Worker_failure (i, e)) bt
 
+(* Sequential execution with the same cancellation contract as the
+   parallel path: a shutdown request stops the map before the next item
+   (in-flight work, by construction, has already finished). *)
+let sequential_mapi f xs =
+  List.mapi
+    (fun i x ->
+      Watchdog.check_shutdown ();
+      apply_wrapped f i x)
+    xs
+
 let parallel_mapi ?jobs:requested f xs =
   (* Pool bookkeeping counters are recorded on every execution path —
      sequential, degraded and parallel — so their totals are a function of
@@ -58,11 +68,20 @@ let parallel_mapi ?jobs:requested f xs =
     let items = Array.of_list xs in
     let n = Array.length items in
     let workers = min (effective_jobs requested) n in
-    if workers <= 1 then List.mapi (apply_wrapped f) xs
+    if workers <= 1 then sequential_mapi f xs
     else begin
       let results = Array.make n None in
       let failures = Array.make n None in
       let next = Atomic.make 0 in
+      (* Prompt cancellation: once any worker records a failure (or a
+         shutdown is requested), no new items are dispatched — workers
+         finish their in-flight item and stop. The exception that finally
+         propagates is still deterministic: items are dispatched in index
+         order, so when item [f] is the first to record a failure every
+         index below [f] has already been dispatched and will drain —
+         including the lowest-indexed failing item, which is the one
+         re-raised below. *)
+      let cancelled = Atomic.make false in
       Telemetry.with_span
         ~attrs:[ "items", Telemetry.Int n; "workers", Telemetry.Int workers ]
         "pool.map"
@@ -74,14 +93,18 @@ let parallel_mapi ?jobs:requested f xs =
       let worker_loop () =
         let processed = ref 0 in
         let rec loop () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n then begin
-            (match f i items.(i) with
-            | v -> results.(i) <- Some v
-            | exception e ->
-              failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
-            incr processed;
-            loop ()
+          if not (Atomic.get cancelled || Watchdog.shutdown_requested ())
+          then begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              (match f i items.(i) with
+              | v -> results.(i) <- Some v
+              | exception e ->
+                failures.(i) <- Some (e, Printexc.get_raw_backtrace ());
+                Atomic.set cancelled true);
+              incr processed;
+              loop ()
+            end
           end
         in
         loop ();
@@ -112,11 +135,15 @@ let parallel_mapi ?jobs:requested f xs =
             Printexc.raise_with_backtrace (Worker_failure (i, e)) bt
           | None -> ())
         failures;
+      (* No failure was recorded; holes can only come from a shutdown
+         request that stopped dispatch before every index ran. *)
       Array.to_list
         (Array.map
            (function
              | Some v -> v
-             | None -> assert false (* every index ran or raised above *))
+             | None ->
+               Watchdog.check_shutdown ();
+               assert false (* every index ran, raised, or was cancelled *))
            results)
     end
 

@@ -17,7 +17,23 @@
     Nested calls never oversubscribe: a [parallel_map] issued from inside a
     pool worker degrades to a sequential map, so parallelising an outer
     stage (e.g. per-macro analysis) automatically serialises the stages
-    nested beneath it. *)
+    nested beneath it.
+
+    {2 Cancellation}
+
+    Every combinator stops dispatching promptly in two situations, on the
+    sequential and parallel paths alike:
+
+    - {e Failure}: once any item raises, no further items are dispatched;
+      items already in flight drain. Because items are dispatched in index
+      order, every index below the first recorded failure still runs, so
+      the exception that propagates is the lowest-indexed failing item's —
+      identical for any job count (see {!Worker_failure}).
+    - {e Shutdown}: once {!Watchdog.request_shutdown} has been called
+      (e.g. from a SIGTERM handler), no further items are dispatched,
+      in-flight items drain, and the combinator raises
+      {!Watchdog.Interrupted} — unless every item had already completed,
+      in which case the full result is returned normally. *)
 
 (** [Worker_failure (index, e)] wraps the exception [e] raised while
     processing the item at [index] of the input list, so a failure in a
@@ -41,11 +57,13 @@ val set_jobs : int -> unit
 val jobs : unit -> int
 
 (** [parallel_map ?jobs f xs] is [List.map f xs], computed by up to [jobs]
-    domains. Results keep input order. If any application raises, the
-    remaining items still run to completion, then the exception of the
-    lowest-indexed failing item is re-raised (with its backtrace) on the
-    calling domain as [Worker_failure (index, e)] — which exception
-    propagates is therefore deterministic. *)
+    domains. Results keep input order. If any application raises, dispatch
+    stops, items already in flight run to completion, and the exception of
+    the lowest-indexed failing item is re-raised (with its backtrace) on
+    the calling domain as [Worker_failure (index, e)] — which exception
+    propagates is therefore deterministic.
+    @raise Watchdog.Interrupted when a shutdown request stopped the map
+    before every item had run. *)
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 (** [parallel_mapi ?jobs f xs] is [List.mapi f xs] with the same contract

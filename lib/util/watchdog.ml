@@ -1,0 +1,134 @@
+(* Run supervision: per-simulation deadlines and cooperative shutdown. *)
+
+(* --- deadlines --------------------------------------------------------- *)
+
+type limits = { wall_seconds : float option; max_iterations : int option }
+
+let no_limits = { wall_seconds = None; max_iterations = None }
+
+let limits ?wall_seconds ?max_iterations () = { wall_seconds; max_iterations }
+
+let scale { wall_seconds; max_iterations } ~factor =
+  let factor = max 1 factor in
+  {
+    wall_seconds = Option.map (fun s -> s *. float_of_int factor) wall_seconds;
+    max_iterations = Option.map (fun n -> n * factor) max_iterations;
+  }
+
+type expiry =
+  | Wall_clock of { limit : float }
+  | Iterations of { limit : int }
+
+(* The rendered message is folded into [Macro.Evaluate.Unresolved] error
+   strings, which end up in cached payloads — it must therefore be a pure
+   function of the configured limit, never of measured time. *)
+let expiry_message = function
+  | Wall_clock { limit } ->
+    Printf.sprintf "wall-clock deadline of %gs exceeded" limit
+  | Iterations { limit } ->
+    Printf.sprintf "deadline of %d solver iterations exceeded" limit
+
+exception Deadline_exceeded of expiry
+
+let () =
+  Printexc.register_printer (function
+    | Deadline_exceeded e ->
+      Some (Printf.sprintf "Watchdog.Deadline_exceeded: %s" (expiry_message e))
+    | _ -> None)
+
+(* Wall-clock reads cost a syscall-ish amount; amortize them over a batch
+   of ticks so the armed hot path stays an integer compare. *)
+let wall_check_interval = 32
+
+let now_seconds () =
+  Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+type armed = {
+  armed_limits : limits;
+  started : float;
+  mutable ticks : int;
+  mutable next_wall_check : int;
+}
+
+let state : armed option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let expire e =
+  Telemetry.count "watchdog.deadline_exceeded";
+  raise (Deadline_exceeded e)
+
+let tick ?(by = 1) () =
+  match Domain.DLS.get state with
+  | None -> ()
+  | Some t ->
+    t.ticks <- t.ticks + by;
+    (match t.armed_limits.max_iterations with
+    | Some cap when t.ticks > cap -> expire (Iterations { limit = cap })
+    | Some _ | None -> ());
+    (match t.armed_limits.wall_seconds with
+    | Some limit when t.ticks >= t.next_wall_check ->
+      t.next_wall_check <- t.ticks + wall_check_interval;
+      if now_seconds () -. t.started > limit then
+        expire (Wall_clock { limit })
+    | Some _ | None -> ())
+
+let with_limits limits f =
+  if limits.wall_seconds = None && limits.max_iterations = None then f ()
+  else begin
+    let saved = Domain.DLS.get state in
+    Domain.DLS.set state
+      (Some
+         {
+           armed_limits = limits;
+           started = now_seconds ();
+           ticks = 0;
+           next_wall_check = wall_check_interval;
+         });
+    Fun.protect ~finally:(fun () -> Domain.DLS.set state saved) f
+  end
+
+let armed () = Domain.DLS.get state <> None
+
+(* --- cooperative shutdown ---------------------------------------------- *)
+
+exception Interrupted of string
+
+let () =
+  Printexc.register_printer (function
+    | Interrupted reason ->
+      Some (Printf.sprintf "Watchdog.Interrupted: run interrupted (%s)" reason)
+    | _ -> None)
+
+(* One process-wide flag: signal handlers set it, pool workers poll it.
+   [None] means "keep running". *)
+let shutdown : string option Atomic.t = Atomic.make None
+
+let request_shutdown ?(reason = "shutdown requested") () =
+  ignore (Atomic.compare_and_set shutdown None (Some reason))
+
+let shutdown_requested () = Atomic.get shutdown <> None
+
+let shutdown_reason () = Atomic.get shutdown
+
+let reset_shutdown () = Atomic.set shutdown None
+
+let check_shutdown () =
+  match Atomic.get shutdown with
+  | None -> ()
+  | Some reason -> raise (Interrupted reason)
+
+let signal_name s =
+  if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigterm then "SIGTERM"
+  else Printf.sprintf "signal %d" s
+
+let install_signal_handlers () =
+  let handle s =
+    if shutdown_requested () then
+      (* A second signal means "stop now": at_exit still runs, so trace
+         channels flush, but no further work is drained. *)
+      Stdlib.exit 130
+    else request_shutdown ~reason:(signal_name s) ()
+  in
+  List.iter
+    (fun s -> Sys.set_signal s (Sys.Signal_handle handle))
+    [ Sys.sigint; Sys.sigterm ]

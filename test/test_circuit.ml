@@ -218,6 +218,29 @@ let test_options_override_scoped () =
   | exception Failure _ -> ());
   ignore (Engine.dc_operating_point nl)
 
+let test_dc_deadline_propagates () =
+  let nl = Netlist.create () in
+  let vin = Netlist.node nl "in" in
+  let mid = Netlist.node nl "mid" in
+  Netlist.add_vsource nl ~name:"V1" ~pos:vin ~neg:Netlist.ground (Waveform.dc 10.0);
+  Netlist.add_resistor nl ~name:"R1" vin mid 1_000.0;
+  Netlist.add_resistor nl ~name:"R2" mid Netlist.ground 3_000.0;
+  (* A zero iteration budget expires on the Newton loop's first tick.
+     The expiry must escape the engine's own fallback ladder — it is a
+     deadline, not a convergence failure — and be classified upstream. *)
+  (match
+     Util.Watchdog.with_limits
+       (Util.Watchdog.limits ~max_iterations:0 ())
+       (fun () -> Engine.dc_operating_point nl)
+   with
+  | _ -> Alcotest.fail "armed zero budget must expire"
+  | exception
+      Util.Watchdog.Deadline_exceeded (Util.Watchdog.Iterations { limit }) ->
+    Alcotest.(check int) "configured limit carried" 0 limit);
+  (* Disarmed again: the same solve completes untouched. *)
+  check_float 1e-6 "solves after disarm" 7.5
+    (Engine.voltage (Engine.dc_operating_point nl) mid)
+
 let test_dc_current_source () =
   let nl = Netlist.create () in
   let out = Netlist.node nl "out" in
@@ -613,6 +636,7 @@ let suites =
         Alcotest.test_case "diagnostics" `Quick test_dc_diagnostics;
         Alcotest.test_case "escalation ladder" `Quick test_escalation_ladder;
         Alcotest.test_case "options override scoped" `Quick test_options_override_scoped;
+        Alcotest.test_case "deadline propagates" `Quick test_dc_deadline_propagates;
         Alcotest.test_case "current source" `Quick test_dc_current_source;
         Alcotest.test_case "floating node" `Quick test_dc_floating_node_gmin;
         Alcotest.test_case "nmos diode KCL" `Quick test_dc_nmos_diode;

@@ -576,6 +576,162 @@ let test_cache_analyze_all_warm () =
   Alcotest.(check int) "no warm misses" 0 warm_stats.Util.Cache.misses;
   Alcotest.(check string) "byte-identical global output" cold warm
 
+(* --- run survival: deadlines, checkpoint/resume, shutdown -------------- *)
+
+(* A shutdown raised inside a worker domain may surface wrapped in
+   [Pool.Worker_failure]; unwrap before matching. *)
+let rec survival_root_cause = function
+  | Util.Pool.Worker_failure (_, cause) -> survival_root_cause cause
+  | e -> e
+
+let analyze_survival ~dir ~jobs ~checkpoint config =
+  let saved = Util.Pool.jobs () in
+  Util.Pool.set_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Util.Pool.set_jobs saved)
+    (fun () ->
+      let cache = Util.Cache.create ~dir ~version:Core.Codec.version () in
+      let config =
+        config
+        |> Core.Pipeline.Config.with_cache_handle (Some cache)
+        |> Core.Pipeline.Config.with_checkpoint (Some checkpoint)
+      in
+      Core.Pipeline.analyze config
+        (Adc.Comparator.macro Adc.Comparator.default_options))
+
+let test_checkpoint_kill_and_resume () =
+  (* The headline guarantee: a run killed mid-evaluation and resumed
+     produces the same bytes as a run that was never interrupted — at
+     any job count. The [interrupt_after] hook stands in for a real
+     SIGTERM, making the kill point deterministic. *)
+  let clean = analysis_fingerprint (Lazy.force comparator_analysis) in
+  let config = Core.Pipeline.Config.with_cache_handle None small_config in
+  List.iter
+    (fun jobs ->
+      with_cache_dir @@ fun dir ->
+      Fun.protect ~finally:Util.Watchdog.reset_shutdown @@ fun () ->
+      (* Phase 1: kill the run after 10 checkpointed classes. *)
+      let interrupted = Core.Checkpoint.create ~interrupt_after:10 () in
+      (match analyze_survival ~dir ~jobs ~checkpoint:interrupted config with
+      | _ -> Alcotest.fail "interrupted run must not complete"
+      | exception e -> (
+        match survival_root_cause e with
+        | Util.Watchdog.Interrupted _ -> ()
+        | other -> raise other));
+      let s = Core.Checkpoint.stats interrupted in
+      Alcotest.(check bool)
+        (Printf.sprintf "progress checkpointed before kill (jobs=%d)" jobs)
+        true
+        (s.Core.Checkpoint.recorded >= 10 && s.Core.Checkpoint.flushes > 0);
+      Util.Watchdog.reset_shutdown ();
+      (* Phase 2: resume with a fresh registry and cache handle. *)
+      let resumed = Core.Checkpoint.create ~resume:true () in
+      let a = analyze_survival ~dir ~jobs ~checkpoint:resumed config in
+      let s = Core.Checkpoint.stats resumed in
+      Alcotest.(check bool)
+        (Printf.sprintf "classes restored on resume (jobs=%d)" jobs)
+        true
+        (s.Core.Checkpoint.restored >= 10);
+      Alcotest.(check string)
+        (Printf.sprintf "resume equals uninterrupted (jobs=%d)" jobs)
+        clean (analysis_fingerprint a))
+    [ 1; 4 ]
+
+let test_checkpoint_finish_removes_partial () =
+  (* A completed run leaves only its full analysis entry on disk: the
+     partial payload is retired by [Checkpoint.finish]. *)
+  with_cache_dir @@ fun dir ->
+  let ckpt = Core.Checkpoint.create () in
+  let _ = analyze_survival ~dir ~jobs:1 ~checkpoint:ckpt telemetry_config in
+  Alcotest.(check bool) "classes were checkpointed" true
+    ((Core.Checkpoint.stats ckpt).Core.Checkpoint.recorded > 0);
+  Alcotest.(check int) "single (full) entry on disk" 1
+    (Array.length (Sys.readdir dir))
+
+let test_deadline_unresolved_jobs_invariant () =
+  (* An iteration budget no escalated retry can meet: every class walks
+     the full ladder (budget doubling each rung) and lands unresolved.
+     The resulting tables must still be byte-identical across jobs —
+     an iteration cap is a pure function of the computation. *)
+  let run jobs =
+    let saved = Util.Pool.jobs () in
+    Util.Pool.set_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Util.Pool.set_jobs saved)
+      (fun () ->
+        let config =
+          telemetry_config
+          |> Core.Pipeline.Config.with_max_retries 1
+          |> Core.Pipeline.Config.with_deadline
+               (Some (Util.Watchdog.limits ~max_iterations:1 ()))
+        in
+        Core.Pipeline.analyze config
+          (Adc.Comparator.macro Adc.Comparator.default_options))
+  in
+  let a = run 1 in
+  Alcotest.(check bool) "deadline leaves classes unresolved" true
+    (a.Core.Pipeline.health.Core.Pipeline.unresolved > 0);
+  Alcotest.(check bool) "expiries were retried" true
+    (a.Core.Pipeline.health.Core.Pipeline.retried > 0);
+  let b = run 4 in
+  Alcotest.(check string) "byte-identical across jobs"
+    (analysis_fingerprint a) (analysis_fingerprint b)
+
+let test_deadline_respects_failure_budget () =
+  (* Deadline expiries are containment events like any other: a zero
+     failure budget aborts the run on the first one. *)
+  let config =
+    telemetry_config
+    |> Core.Pipeline.Config.with_max_retries 1
+    |> Core.Pipeline.Config.with_failure_budget (Some 0)
+    |> Core.Pipeline.Config.with_deadline
+         (Some (Util.Watchdog.limits ~max_iterations:1 ()))
+  in
+  match
+    Core.Pipeline.analyze config
+      (Adc.Comparator.macro Adc.Comparator.default_options)
+  with
+  | _ -> Alcotest.fail "zero budget must be exhausted by expiries"
+  | exception Util.Resilience.Budget_exhausted { limit; _ } ->
+    Alcotest.(check int) "limit echoed" 0 limit
+
+let test_deadline_part_of_cache_key () =
+  (* A cached analysis from an unlimited run must not be served to a
+     deadline-constrained one (or vice versa): the limits are part of
+     the key, so stale checkpoints and full entries can never alias. *)
+  with_cache_dir @@ fun dir ->
+  let _ = analyze_cached ~dir ~jobs:1 telemetry_config in
+  let constrained =
+    Core.Pipeline.Config.with_deadline
+      (Some (Util.Watchdog.limits ~max_iterations:1_000_000 ()))
+      telemetry_config
+  in
+  let _, s = analyze_cached ~dir ~jobs:1 constrained in
+  Alcotest.(check int) "deadline config misses" 1 s.Util.Cache.misses;
+  Alcotest.(check int) "no false hit" 0 s.Util.Cache.hits
+
+let test_run_survival_renders () =
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  let off = Util.Table.render (Core.Report.run_survival small_config) in
+  Alcotest.(check bool) "reports checkpointing off" true (contains off "off");
+  let on =
+    small_config
+    |> Core.Pipeline.Config.with_deadline
+         (Some (Util.Watchdog.limits ~wall_seconds:30.0 ~max_iterations:5_000 ()))
+    |> Core.Pipeline.Config.with_checkpoint
+         (Some (Core.Checkpoint.create ~resume:true ()))
+  in
+  let s = Util.Table.render (Core.Report.run_survival on) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "mentions %S" needle) true
+        (contains s needle))
+    [ "30"; "5000 iterations"; "on (resume)"; "classes restored" ]
+
 let global_pair =
   lazy
     (Dft.Measures.compare_coverage ~config:small_config ())
@@ -690,6 +846,21 @@ let suites =
         Alcotest.test_case "warm run re-checks budget" `Slow
           test_cache_warm_run_recheck_budget;
         Alcotest.test_case "analyze_all warm" `Slow test_cache_analyze_all_warm;
+      ] );
+    ( "core.survival",
+      [
+        Alcotest.test_case "kill and resume (jobs 1 and 4)" `Slow
+          test_checkpoint_kill_and_resume;
+        Alcotest.test_case "finish removes partial" `Slow
+          test_checkpoint_finish_removes_partial;
+        Alcotest.test_case "deadline unresolved jobs-invariant" `Slow
+          test_deadline_unresolved_jobs_invariant;
+        Alcotest.test_case "deadline respects failure budget" `Slow
+          test_deadline_respects_failure_budget;
+        Alcotest.test_case "deadline part of cache key" `Slow
+          test_deadline_part_of_cache_key;
+        Alcotest.test_case "run survival renders" `Quick
+          test_run_survival_renders;
       ] );
     ( "core.report",
       [

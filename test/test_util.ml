@@ -785,6 +785,219 @@ let test_cache_telemetry_counters () =
   Alcotest.(check (option int)) "cache.hits counted" (Some 1)
     (List.assoc_opt "cache.hits" m.Telemetry.Metrics.counters)
 
+let test_cache_write_failure_degrades () =
+  with_cache_dir @@ fun dir ->
+  let c = Cache.create ~dir ~version:"v1" () in
+  (* Pull the directory out from under the handle: every later store
+     fails to open its temp file. (A chmod-based read-only directory
+     would not do — these tests may run as root, which bypasses
+     permission bits.) *)
+  Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+  Sys.rmdir dir;
+  let key i = Cache.fingerprint [ "degraded"; string_of_int i ] in
+  Cache.store c ~key:(key 1) payload;
+  Cache.store c ~key:(key 2) payload;
+  let s = Cache.stats c in
+  Alcotest.(check int) "every failed write counted" 2 s.Cache.write_errors;
+  (* Degraded, not broken: a fresh handle sees nothing on disk. *)
+  Unix.mkdir dir 0o700;
+  let c2 = Cache.create ~dir ~version:"v1" () in
+  Alcotest.(check bool) "nothing persisted" true (Cache.find c2 ~key:(key 1) = None);
+  Alcotest.(check int) "fresh handle clean" 0 (Cache.stats c2).Cache.write_errors
+
+let test_cache_remove_retires_entry () =
+  with_cache_dir @@ fun dir ->
+  let c = Cache.create ~dir ~version:"v1" () in
+  let key = Cache.fingerprint [ "to-remove" ] in
+  Cache.store c ~key payload;
+  Alcotest.(check bool) "stored" true (Cache.find c ~key = Some payload);
+  Cache.remove c ~key;
+  Alcotest.(check bool) "gone from memory and disk" true (Cache.find c ~key = None);
+  (* Removing an absent entry is a no-op, not an error. *)
+  Cache.remove c ~key
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_watchdog_iteration_cap () =
+  Alcotest.(check bool) "unarmed outside" false (Watchdog.armed ());
+  (* Unarmed ticks are free no-ops. *)
+  Watchdog.tick ();
+  Watchdog.with_limits
+    (Watchdog.limits ~max_iterations:10 ())
+    (fun () ->
+      Alcotest.(check bool) "armed inside" true (Watchdog.armed ());
+      for _ = 1 to 10 do
+        Watchdog.tick ()
+      done);
+  (match
+     Watchdog.with_limits
+       (Watchdog.limits ~max_iterations:10 ())
+       (fun () ->
+         for _ = 1 to 11 do
+           Watchdog.tick ()
+         done)
+   with
+  | () -> Alcotest.fail "the 11th tick must expire"
+  | exception Watchdog.Deadline_exceeded (Watchdog.Iterations { limit }) ->
+    Alcotest.(check int) "configured limit carried" 10 limit
+  | exception Watchdog.Deadline_exceeded _ -> Alcotest.fail "wrong expiry kind");
+  Alcotest.(check bool) "disarmed after" false (Watchdog.armed ())
+
+let test_watchdog_wall_checked_in_batches () =
+  (* A zero wall budget expires at the first wall-clock read, which the
+     amortization contract schedules for the 32nd tick — not the 1st. *)
+  let ticked = ref 0 in
+  match
+    Watchdog.with_limits
+      (Watchdog.limits ~wall_seconds:0.0 ())
+      (fun () ->
+        for _ = 1 to 100 do
+          Watchdog.tick ();
+          incr ticked
+        done)
+  with
+  | () -> Alcotest.fail "zero wall budget must expire"
+  | exception Watchdog.Deadline_exceeded (Watchdog.Wall_clock { limit }) ->
+    Alcotest.(check (float 0.0)) "configured limit carried" 0.0 limit;
+    Alcotest.(check int) "expired at the first batched check" 31 !ticked
+  | exception Watchdog.Deadline_exceeded _ -> Alcotest.fail "wrong expiry kind"
+
+let test_watchdog_tick_by () =
+  match
+    Watchdog.with_limits
+      (Watchdog.limits ~max_iterations:10 ())
+      (fun () -> Watchdog.tick ~by:11 ())
+  with
+  | () -> Alcotest.fail "bulk tick past the cap must expire"
+  | exception Watchdog.Deadline_exceeded (Watchdog.Iterations { limit }) ->
+    Alcotest.(check int) "limit" 10 limit
+  | exception Watchdog.Deadline_exceeded _ -> Alcotest.fail "wrong expiry kind"
+
+let test_watchdog_scale () =
+  let l = Watchdog.limits ~wall_seconds:1.5 ~max_iterations:10 () in
+  let s = Watchdog.scale l ~factor:4 in
+  Alcotest.(check (option (float 1e-12))) "wall scaled" (Some 6.0)
+    s.Watchdog.wall_seconds;
+  Alcotest.(check (option int)) "iterations scaled" (Some 40)
+    s.Watchdog.max_iterations;
+  let clamped = Watchdog.scale l ~factor:0 in
+  Alcotest.(check (option int)) "factor clamps to 1" (Some 10)
+    clamped.Watchdog.max_iterations;
+  let unlimited = Watchdog.scale Watchdog.no_limits ~factor:8 in
+  Alcotest.(check bool) "no_limits stays unlimited" true
+    (unlimited = Watchdog.no_limits)
+
+let test_watchdog_nesting_restores () =
+  Watchdog.with_limits
+    (Watchdog.limits ~max_iterations:100 ())
+    (fun () ->
+      (* An inner deadline shadows the outer one; its expiry must leave
+         the outer budget armed and untouched. *)
+      (match
+         Watchdog.with_limits
+           (Watchdog.limits ~max_iterations:2 ())
+           (fun () ->
+             for _ = 1 to 3 do
+               Watchdog.tick ()
+             done)
+       with
+      | () -> Alcotest.fail "inner deadline must expire"
+      | exception Watchdog.Deadline_exceeded (Watchdog.Iterations { limit }) ->
+        Alcotest.(check int) "inner limit" 2 limit
+      | exception Watchdog.Deadline_exceeded _ ->
+        Alcotest.fail "wrong expiry kind");
+      Alcotest.(check bool) "outer still armed" true (Watchdog.armed ());
+      for _ = 1 to 50 do
+        Watchdog.tick ()
+      done);
+  Alcotest.(check bool) "fully disarmed" false (Watchdog.armed ())
+
+let test_watchdog_expiry_messages_deterministic () =
+  (* These strings persist inside cached Unresolved payloads: they must
+     be pure functions of the configured limit. *)
+  Alcotest.(check string) "iterations"
+    "deadline of 500 solver iterations exceeded"
+    (Watchdog.expiry_message (Watchdog.Iterations { limit = 500 }));
+  Alcotest.(check string) "wall" "wall-clock deadline of 2.5s exceeded"
+    (Watchdog.expiry_message (Watchdog.Wall_clock { limit = 2.5 }))
+
+let test_watchdog_shutdown_flag () =
+  Fun.protect ~finally:Watchdog.reset_shutdown @@ fun () ->
+  Watchdog.reset_shutdown ();
+  Alcotest.(check bool) "clear initially" false (Watchdog.shutdown_requested ());
+  Watchdog.check_shutdown ();
+  Watchdog.request_shutdown ~reason:"first" ();
+  Watchdog.request_shutdown ~reason:"second" ();
+  Alcotest.(check (option string)) "first request wins" (Some "first")
+    (Watchdog.shutdown_reason ());
+  (match Watchdog.check_shutdown () with
+  | () -> Alcotest.fail "must raise once requested"
+  | exception Watchdog.Interrupted reason ->
+    Alcotest.(check string) "reason carried" "first" reason);
+  Watchdog.reset_shutdown ();
+  Alcotest.(check bool) "reset clears" false (Watchdog.shutdown_requested ())
+
+(* ------------------------------------------------------------------ *)
+(* Pool cancellation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_cancels_after_failure () =
+  (* Prompt cancellation: after item 0 fails, dispatch stops — with
+     thousands of items queued, most must never run. The propagated
+     exception is still the lowest-indexed failure. *)
+  let n = 5_000 in
+  let processed = Atomic.make 0 in
+  (match
+     Pool.parallel_mapi ~jobs:4
+       (fun i _ ->
+         Atomic.incr processed;
+         if i = 0 then begin
+           Unix.sleepf 0.05;
+           failwith "boom"
+         end
+         else Unix.sleepf 0.001)
+       (List.init n Fun.id)
+   with
+  | _ -> Alcotest.fail "failure must propagate"
+  | exception Pool.Worker_failure (0, Failure msg) ->
+    Alcotest.(check string) "original exception carried" "boom" msg);
+  Alcotest.(check bool) "dispatch stopped early" true
+    (Atomic.get processed < n)
+
+let test_pool_shutdown_interrupts_parallel () =
+  Fun.protect ~finally:Watchdog.reset_shutdown @@ fun () ->
+  Watchdog.reset_shutdown ();
+  (match
+     Pool.parallel_mapi ~jobs:2
+       (fun i _ ->
+         if i = 0 then Watchdog.request_shutdown ~reason:"test shutdown" ();
+         i)
+       (List.init 1_000 Fun.id)
+   with
+  | _ -> Alcotest.fail "shutdown must interrupt the map"
+  | exception Watchdog.Interrupted reason ->
+    Alcotest.(check string) "reason carried" "test shutdown" reason)
+
+let test_pool_shutdown_interrupts_sequential () =
+  Fun.protect ~finally:Watchdog.reset_shutdown @@ fun () ->
+  Watchdog.reset_shutdown ();
+  let ran = ref [] in
+  (match
+     Pool.parallel_mapi ~jobs:1
+       (fun i _ ->
+         ran := i :: !ran;
+         if i = 1 then Watchdog.request_shutdown ~reason:"seq" ();
+         i)
+       [ 10; 11; 12; 13 ]
+   with
+  | _ -> Alcotest.fail "shutdown must interrupt the map"
+  | exception Watchdog.Interrupted _ ->
+    (* The item that requested shutdown still completed; the next one
+       was never started. *)
+    Alcotest.(check (list int)) "stopped before item 2" [ 1; 0 ] !ran)
+
 let suites =
   [
     ( "util.pool",
@@ -801,6 +1014,12 @@ let suites =
         Alcotest.test_case "chunks cover" `Quick test_pool_parallel_chunks_cover;
         Alcotest.test_case "nested sequential" `Quick test_pool_nested_stays_sequential;
         Alcotest.test_case "set_jobs floor" `Quick test_pool_set_jobs_floor;
+        Alcotest.test_case "cancels after failure" `Quick
+          test_pool_cancels_after_failure;
+        Alcotest.test_case "shutdown interrupts parallel" `Quick
+          test_pool_shutdown_interrupts_parallel;
+        Alcotest.test_case "shutdown interrupts sequential" `Quick
+          test_pool_shutdown_interrupts_sequential;
       ] );
     ( "util.resilience",
       [
@@ -881,6 +1100,23 @@ let suites =
           test_cache_fingerprint_boundaries;
         Alcotest.test_case "telemetry counters" `Quick
           test_cache_telemetry_counters;
+        Alcotest.test_case "write failure degrades" `Quick
+          test_cache_write_failure_degrades;
+        Alcotest.test_case "remove retires entry" `Quick
+          test_cache_remove_retires_entry;
+      ] );
+    ( "util.watchdog",
+      [
+        Alcotest.test_case "iteration cap" `Quick test_watchdog_iteration_cap;
+        Alcotest.test_case "wall checked in batches" `Quick
+          test_watchdog_wall_checked_in_batches;
+        Alcotest.test_case "bulk tick" `Quick test_watchdog_tick_by;
+        Alcotest.test_case "scale" `Quick test_watchdog_scale;
+        Alcotest.test_case "nesting restores" `Quick
+          test_watchdog_nesting_restores;
+        Alcotest.test_case "expiry messages deterministic" `Quick
+          test_watchdog_expiry_messages_deterministic;
+        Alcotest.test_case "shutdown flag" `Quick test_watchdog_shutdown_flag;
       ] );
     ( "util.telemetry",
       [
