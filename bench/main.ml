@@ -15,7 +15,9 @@
                      run reports cache "warm" with nonzero hits
      --deadline S    wall-clock budget per fault-class simulation attempt
      --deadline-iterations N
-                     Newton-iteration budget per attempt (deterministic)  *)
+                     Newton-iteration budget per attempt (deterministic)
+     --solver B      linear-solver backend: dense | rank1 | auto (default
+                     auto); all backends produce identical tables          *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let timings = Array.exists (( = ) "--timings") Sys.argv
@@ -62,6 +64,17 @@ let deadline =
   | wall_seconds, max_iterations ->
     Some { Util.Watchdog.wall_seconds; max_iterations }
 
+let solver =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then Circuit.Engine.default_solver
+    else if Sys.argv.(i) = "--solver" then
+      match Circuit.Engine.solver_of_string Sys.argv.(i + 1) with
+      | Some s -> s
+      | None -> failwith "--solver expects dense, rank1 or auto"
+    else scan (i + 1)
+  in
+  scan 1
+
 let () = Util.Pool.set_jobs jobs
 
 let config =
@@ -71,6 +84,7 @@ let config =
    else Core.Pipeline.Config.default)
   |> Core.Pipeline.Config.with_cache_handle cache
   |> Core.Pipeline.Config.with_deadline deadline
+  |> Core.Pipeline.Config.with_solver solver
 
 let banner title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -497,8 +511,12 @@ let parallel_scaling () =
    and moved emission to Util.Json; schema 4 added the result-cache counters
    ("cache": state cold|warm|off plus hits/misses/stale/evictions) and
    emitted metrics through Core.Codec, the library's single JSON surface;
-   schema 5 adds "write_errors" under "cache" and the "survival" object
-   (configured deadline budgets and the deadline-expiry counter). *)
+   schema 4 added the result-cache counters and schema 5 the "survival"
+   object (deadline budgets and the deadline-expiry counter); schema 6
+   adds the "solver" object — the selected backend plus the engine's
+   factorization-reuse counters (factorizations, rank1_solves,
+   jacobian_bypass, rank1_fallbacks), pulled from the same deterministic
+   counter totals as "metrics". *)
 let json_run () =
   let macro = Adc.Comparator.macro Adc.Comparator.default_options in
   ignore (Lazy.force macro.Macro.Macro_cell.cell);
@@ -520,6 +538,9 @@ let json_run () =
       (Testgen.Overlap.venn_of_partition (Testgen.Overlap.partition outcomes))
   in
   let m = Util.Telemetry.metrics memory in
+  let counter name =
+    try List.assoc name m.Util.Telemetry.Metrics.counters with Not_found -> 0
+  in
   let cache_json =
     match cache with
     | None -> Core.Codec.cache_stats_to_json ~state:`Off Util.Cache.no_stats
@@ -532,7 +553,7 @@ let json_run () =
   let json =
     Util.Json.Obj
       [
-        "schema", Util.Json.String "dotest-bench/5";
+        "schema", Util.Json.String "dotest-bench/6";
         "macro", Util.Json.String "comparator";
         "mode", Util.Json.String (if quick then "quick" else "full");
         "jobs", Util.Json.Int jobs;
@@ -571,6 +592,16 @@ let json_run () =
               "total_s", Util.Json.Float total_s;
             ] );
         "cache", cache_json;
+        ( "solver",
+          Util.Json.Obj
+            [
+              ( "backend",
+                Util.Json.String (Circuit.Engine.solver_name solver) );
+              "factorizations", Util.Json.Int (counter "engine.factorizations");
+              "rank1_solves", Util.Json.Int (counter "engine.rank1_solves");
+              "jacobian_bypass", Util.Json.Int (counter "engine.jacobian_bypass");
+              "rank1_fallbacks", Util.Json.Int (counter "engine.rank1_fallbacks");
+            ] );
         ( "survival",
           Util.Json.Obj
             [
@@ -585,11 +616,7 @@ let json_run () =
                   Util.Json.Int n
                 | Some _ | None -> Util.Json.Null );
               ( "deadline_expired",
-                Util.Json.Int
-                  (try
-                     List.assoc "watchdog.deadline_exceeded"
-                       m.Util.Telemetry.Metrics.counters
-                   with Not_found -> 0) );
+                Util.Json.Int (counter "watchdog.deadline_exceeded") );
             ] );
         "metrics", Core.Codec.metrics_to_json m;
       ]

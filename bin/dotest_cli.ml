@@ -11,14 +11,14 @@ let setup_logging verbose =
 
 let config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict ~failure_budget
     ~inject_failures ~telemetry ~cache ?(deadline = None) ?(checkpoint = None)
-    () =
+    ~solver () =
   Core.Pipeline.Config.(
     default |> with_defects defects |> with_good_space_dies dies
     |> with_sigma sigma |> with_seed seed |> with_max_retries max_retries
     |> with_strict strict |> with_failure_budget failure_budget
     |> with_inject_failures inject_failures |> with_telemetry telemetry
     |> with_cache_handle cache |> with_deadline deadline
-    |> with_checkpoint checkpoint)
+    |> with_checkpoint checkpoint |> with_solver solver)
 
 let defaults = Core.Pipeline.Config.default
 
@@ -65,6 +65,25 @@ let dft =
   Arg.(
     value & flag
     & info [ "dft" ] ~doc:"Apply both DfT measures before the analysis.")
+
+let solver_arg =
+  let backends =
+    List.map
+      (fun s -> Circuit.Engine.solver_name s, s)
+      Circuit.Engine.all_solvers
+  in
+  Arg.(
+    value
+    & opt (enum backends) Circuit.Engine.default_solver
+    & info [ "solver" ] ~docv:"BACKEND"
+        ~doc:
+          "Linear-solver backend: $(b,auto) (default) reuses factorizations \
+           across Newton iterations and fault classes with rank-1 updates \
+           and picks a banded kernel when the circuit structure warrants \
+           it; $(b,rank1) is the same without the banded kernel; \
+           $(b,dense) is the historical re-factor-every-iteration \
+           reference path for bisecting solver regressions. All backends \
+           print identical tables.")
 
 let strict =
   Arg.(
@@ -298,7 +317,7 @@ let print_health ~format analyses =
 let comparator_cmd =
   let run verbose jobs defects dies sigma seed dft strict max_retries
       failure_budget inject_failures trace metrics cache_dir no_cache deadline
-      deadline_iterations resume no_checkpoint format =
+      deadline_iterations resume no_checkpoint solver format =
     setup_logging verbose;
     Util.Pool.set_jobs jobs;
     Util.Watchdog.install_signal_handlers ();
@@ -309,7 +328,7 @@ let comparator_cmd =
       config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict
         ~failure_budget ~inject_failures ~telemetry:sink ~cache
         ~deadline:(deadline_of ~deadline ~deadline_iterations)
-        ~checkpoint ()
+        ~checkpoint ~solver ()
     in
     let options =
       if dft then Adc.Comparator.dft_options else Adc.Comparator.default_options
@@ -338,12 +357,12 @@ let comparator_cmd =
       const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ dft $ strict
       $ max_retries $ failure_budget $ inject_failures $ trace $ metrics_flag
       $ cache_dir $ no_cache $ deadline_arg $ deadline_iterations $ resume
-      $ no_checkpoint $ format_arg)
+      $ no_checkpoint $ solver_arg $ format_arg)
 
 let global_cmd =
   let run verbose jobs defects dies sigma seed dft strict max_retries
       failure_budget inject_failures trace metrics cache_dir no_cache deadline
-      deadline_iterations resume no_checkpoint format =
+      deadline_iterations resume no_checkpoint solver format =
     setup_logging verbose;
     Util.Pool.set_jobs jobs;
     Util.Watchdog.install_signal_handlers ();
@@ -354,7 +373,7 @@ let global_cmd =
       config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict
         ~failure_budget ~inject_failures ~telemetry:sink ~cache
         ~deadline:(deadline_of ~deadline ~deadline_iterations)
-        ~checkpoint ()
+        ~checkpoint ~solver ()
     in
     let measures = if dft then Dft.Measures.all_measures else [] in
     let macros = Dft.Measures.macro_set ~measures in
@@ -382,11 +401,11 @@ let global_cmd =
       const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ dft $ strict
       $ max_retries $ failure_budget $ inject_failures $ trace $ metrics_flag
       $ cache_dir $ no_cache $ deadline_arg $ deadline_iterations $ resume
-      $ no_checkpoint $ format_arg)
+      $ no_checkpoint $ solver_arg $ format_arg)
 
 let dft_cmd =
   let run verbose jobs defects dies sigma seed trace metrics cache_dir no_cache
-      format =
+      solver format =
     setup_logging verbose;
     Util.Pool.set_jobs jobs;
     Util.Watchdog.install_signal_handlers ();
@@ -398,7 +417,7 @@ let dft_cmd =
         ~strict:false ~failure_budget:None ~inject_failures:None
         ~telemetry:sink ~cache
         ~checkpoint:(checkpoint_of ~cache ~resume:false ~no_checkpoint:false)
-        ()
+        ~solver ()
     in
     let original, improved =
       handle_failures (fun () -> Dft.Measures.compare_coverage ~config ())
@@ -418,7 +437,7 @@ let dft_cmd =
     (Cmd.info "dft" ~doc:"Compare coverage before and after the DfT measures.")
     Term.(
       const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ trace
-      $ metrics_flag $ cache_dir $ no_cache $ format_arg)
+      $ metrics_flag $ cache_dir $ no_cache $ solver_arg $ format_arg)
 
 let ramp_cmd =
   let run samples =

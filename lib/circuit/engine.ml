@@ -59,6 +59,40 @@ let with_options_override options f =
   Domain.DLS.set options_override (Some options);
   Fun.protect ~finally:(fun () -> Domain.DLS.set options_override saved) f
 
+(* --- solver selection -------------------------------------------------- *)
+
+type solver = Dense | Rank1 | Auto
+
+let solver_name = function
+  | Dense -> "dense"
+  | Rank1 -> "rank1"
+  | Auto -> "auto"
+
+let solver_of_string = function
+  | "dense" -> Some Dense
+  | "rank1" -> Some Rank1
+  | "auto" -> Some Auto
+  | _ -> None
+
+let all_solvers = [ Dense; Rank1; Auto ]
+let default_solver = Auto
+
+(* A separate key from [options_override]: the retry layer re-installs
+   option overrides on every escalation attempt and must not clobber the
+   run's solver choice while doing so. *)
+let solver_override : solver option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current_solver () =
+  match Domain.DLS.get solver_override with
+  | Some s -> s
+  | None -> default_solver
+
+let with_solver solver f =
+  let saved = Domain.DLS.get solver_override in
+  Domain.DLS.set solver_override (Some solver);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set solver_override saved) f
+
 (* --- convergence diagnostics ------------------------------------------ *)
 
 type fallback = Plain_newton | Gmin_stepping | Source_stepping
@@ -228,9 +262,327 @@ let build ~options ~mode ~alpha ~t compiled x a rhs =
   in
   List.iter stamp_device compiled.cdevices
 
+(* --- factorization reuse (rank1/auto backends) ------------------------- *)
+
+(* The fast backends keep one mutable solver state per analysis and reuse
+   the LU factorization across Newton iterations, transient steps, and
+   stepping-fallback stages. Only MOSFET stamps can change the matrix
+   between solves at a fixed (gmin, h) — sources and capacitor history
+   touch the right-hand side alone — so the state tracks each MOSFET's
+   (gm, gds) as baked into the current factorization and classifies every
+   iteration by how far the freshly evaluated linearization has moved:
+
+   - nothing moved beyond tolerance: reuse the factorization as-is
+     (Jacobian bypass; the chord iteration converges to the same
+     nonlinear solution because ieq is built against the *baked* gm/gds,
+     see [build_rhs_reuse]);
+   - a few devices moved: fold each stamp delta in as two Sherman-
+     Morrison rank-1 updates, dgds·(e_d−e_s)(e_d−e_s)ᵀ +
+     dgm·(e_d−e_s)(e_g−e_s)ᵀ — an exact decomposition of the stamp;
+   - many devices moved, the update chain grew too long, or an update
+     denominator tripped the singularity guard: re-factor from scratch.
+
+   Every decision is a pure function of device values, never of timing,
+   so runs are deterministic at any job count. *)
+
+type rmos = { md : int; mg : int; ms : int; mspec : Netlist.mosfet_spec }
+
+type rstate = {
+  rn : int;
+  rcompiled : compiled;
+  rpermute : int array option;
+  rmos : rmos array;
+  rconst : float array array;  (* linear-device part of A at (gmin, h) *)
+  mutable rconst_gmin : float;
+  mutable rconst_h : float;    (* 0.0 in DC *)
+  mutable rconst_ok : bool;
+  rfull : float array array;   (* scratch for re-factorization *)
+  mutable rfactor : Linear.Factor.t option;
+  rref_gm : float array;       (* per-MOSFET values baked into rfactor *)
+  rref_gds : float array;
+  rcur_id : float array;       (* per-MOSFET values at the current guess *)
+  rcur_gm : float array;
+  rcur_gds : float array;
+  rrhs : float array;
+}
+
+type backend = Dense_backend | Reuse_backend of rstate
+
+(* Off-diagonal structure of the MNA matrix, as graph edges over the
+   unknowns (0-based); feeds the RCM ordering. *)
+let adjacency compiled =
+  let edge acc a b = if a <> 0 && b <> 0 && a <> b then (idx a, idx b) :: acc else acc in
+  List.fold_left
+    (fun acc -> function
+      | CResistor (n1, n2, _) | CCapacitor (n1, n2, _) -> edge acc n1 n2
+      | CVsource { pos; neg; branch; _ } ->
+        let acc = if pos <> 0 then (idx pos, branch) :: acc else acc in
+        if neg <> 0 then (idx neg, branch) :: acc else acc
+      | CIsource _ -> acc
+      | CMosfet { d; g; s; _ } -> edge (edge (edge acc d s) d g) s g)
+    [] compiled.cdevices
+
+(* The banded kernel wins once the permuted half-bandwidth is well under
+   the matrix size (elimination cost ~ n·b² vs n³/3); tiny systems are
+   not worth the permutation bookkeeping. Chosen per-compile, from
+   structure only. *)
+let auto_permutation compiled =
+  let n = compiled.n_unknowns in
+  if n < 16 then None
+  else begin
+    let edges = adjacency compiled in
+    let perm = Linear.rcm ~n edges in
+    let bw = Linear.bandwidth_under ~perm edges in
+    if 4 * (bw + 1) <= n then Some perm else None
+  end
+
+let make_rstate ?permute compiled =
+  let n = compiled.n_unknowns in
+  let rmos =
+    List.filter_map
+      (function
+        | CMosfet { d; g; s; spec } -> Some { md = d; mg = g; ms = s; mspec = spec }
+        | _ -> None)
+      compiled.cdevices
+    |> Array.of_list
+  in
+  let nm = Array.length rmos in
+  {
+    rn = n;
+    rcompiled = compiled;
+    rpermute = permute;
+    rmos;
+    rconst = Linear.matrix n;
+    rconst_gmin = Float.nan;
+    rconst_h = Float.nan;
+    rconst_ok = false;
+    rfull = Linear.matrix n;
+    rfactor = None;
+    rref_gm = Array.make nm 0.0;
+    rref_gds = Array.make nm 0.0;
+    rcur_id = Array.make nm 0.0;
+    rcur_gm = Array.make nm 0.0;
+    rcur_gds = Array.make nm 0.0;
+    rrhs = Array.make n 0.0;
+  }
+
+let make_backend compiled =
+  match current_solver () with
+  | Dense -> Dense_backend
+  | Rank1 -> Reuse_backend (make_rstate compiled)
+  | Auto -> Reuse_backend (make_rstate ?permute:(auto_permutation compiled) compiled)
+
+let rebuild_const state ~gmin ~h =
+  let a = state.rconst in
+  let n = state.rn in
+  for i = 0 to n - 1 do
+    Array.fill a.(i) 0 n 0.0
+  done;
+  for node = 1 to state.rcompiled.n_nodes do
+    a.(idx node).(idx node) <- a.(idx node).(idx node) +. gmin
+  done;
+  List.iter
+    (function
+      | CResistor (n1, n2, r) -> stamp_conductance a (1.0 /. r) n1 n2
+      | CCapacitor (n1, n2, c) -> if h > 0.0 then stamp_conductance a (c /. h) n1 n2
+      | CVsource { pos; neg; branch; _ } ->
+        if pos <> 0 then begin
+          a.(idx pos).(branch) <- a.(idx pos).(branch) +. 1.0;
+          a.(branch).(idx pos) <- a.(branch).(idx pos) +. 1.0
+        end;
+        if neg <> 0 then begin
+          a.(idx neg).(branch) <- a.(idx neg).(branch) -. 1.0;
+          a.(branch).(idx neg) <- a.(branch).(idx neg) -. 1.0
+        end
+      | CIsource _ -> ()
+      | CMosfet _ -> ())
+    state.rcompiled.cdevices;
+  state.rconst_gmin <- gmin;
+  state.rconst_h <- h;
+  state.rconst_ok <- true;
+  state.rfactor <- None
+
+let eval_mosfets state x =
+  Array.iteri
+    (fun k m ->
+      let vgs = v_of x m.mg -. v_of x m.ms in
+      let vds = v_of x m.md -. v_of x m.ms in
+      let op =
+        Mos_model.evaluate ~polarity:m.mspec.Netlist.polarity
+          ~params:m.mspec.Netlist.params ~w:m.mspec.Netlist.w
+          ~l:m.mspec.Netlist.l ~vgs ~vds
+      in
+      state.rcur_id.(k) <- op.Mos_model.id;
+      state.rcur_gm.(k) <- op.Mos_model.gm;
+      state.rcur_gds.(k) <- op.Mos_model.gds)
+    state.rmos
+
+let refactor state =
+  let n = state.rn in
+  let a = state.rfull in
+  for i = 0 to n - 1 do
+    Array.blit state.rconst.(i) 0 a.(i) 0 n
+  done;
+  Array.iteri
+    (fun k m ->
+      let gm = state.rcur_gm.(k) and gds = state.rcur_gds.(k) in
+      let add r c v =
+        if r <> 0 && c <> 0 then a.(idx r).(idx c) <- a.(idx r).(idx c) +. v
+      in
+      add m.md m.md gds;
+      add m.md m.mg gm;
+      add m.md m.ms (-.(gm +. gds));
+      add m.ms m.md (-.gds);
+      add m.ms m.mg (-.gm);
+      add m.ms m.ms (gm +. gds))
+    state.rmos;
+  match Linear.Factor.factor ?permute:state.rpermute a with
+  | exception Linear.Singular ->
+    state.rfactor <- None;
+    false
+  | f ->
+    state.rfactor <- Some f;
+    Array.blit state.rcur_gm 0 state.rref_gm 0 (Array.length state.rref_gm);
+    Array.blit state.rcur_gds 0 state.rref_gds 0 (Array.length state.rref_gds);
+    Util.Telemetry.count "engine.factorizations";
+    true
+
+(* A device's linearization has "moved" when gm or gds differs from the
+   value baked into the factorization by more than a relative tolerance.
+   The tolerance trades factorization reuse against chord-iteration
+   convergence rate (contraction ~ the staleness fraction); it does not
+   affect the converged solution (see the consistency argument at
+   [build_rhs_reuse]), so it can be far looser than the Newton reltol.
+   10% keeps quiescent stretches of a transient on the bypass path while
+   the input ramp drifts the pair's gm by well under a percent per step;
+   converged KCL error stays at the Newton tolerance regardless. *)
+let reuse_reltol = 0.1
+let reuse_abstol = 1e-12
+
+(* Sherman–Morrison is only cheaper than re-factoring when very few
+   devices moved: each moved MOSFET costs one update (its delta is rank
+   one, see [apply_mos_updates]) — a full chain solve for its [w] — and
+   every stacked update taxes all later solves. Past a couple of devices
+   (a clock edge moves the whole macro), re-factoring wins outright. *)
+let max_moved = 2
+let max_chain = 6
+
+let moved state k =
+  let tol cur ref_ =
+    reuse_abstol +. (reuse_reltol *. Float.max (Float.abs cur) (Float.abs ref_))
+  in
+  Float.abs (state.rcur_gm.(k) -. state.rref_gm.(k))
+  > tol state.rcur_gm.(k) state.rref_gm.(k)
+  || Float.abs (state.rcur_gds.(k) -. state.rref_gds.(k))
+     > tol state.rcur_gds.(k) state.rref_gds.(k)
+
+let inc_vector n a b =
+  let u = Array.make n 0.0 in
+  if a <> 0 then u.(idx a) <- u.(idx a) +. 1.0;
+  if b <> 0 then u.(idx b) <- u.(idx b) -. 1.0;
+  u
+
+(* A MOSFET's linearization delta is rank one: both the gds and gm stamp
+   blocks share the left factor (e_d − e_s), so
+     ΔA = dgds·uds·udsᵀ + dgm·uds·ugsᵀ = uds · (dgds·uds + dgm·ugs)ᵀ
+   and one Sherman–Morrison update absorbs the whole device. *)
+let apply_mos_updates state f changed =
+  let n = state.rn in
+  let rec go f = function
+    | [] -> Some f
+    | k :: rest ->
+      let m = state.rmos.(k) in
+      let dgds = state.rcur_gds.(k) -. state.rref_gds.(k) in
+      let dgm = state.rcur_gm.(k) -. state.rref_gm.(k) in
+      let uds = inc_vector n m.md m.ms in
+      let v = Array.make n 0.0 in
+      let addv node c = if node <> 0 then v.(idx node) <- v.(idx node) +. c in
+      addv m.md dgds;
+      addv m.ms (-.(dgds +. dgm));
+      addv m.mg dgm;
+      (match Linear.Factor.rank1_update f ~c:1.0 ~u:uds ~v with
+      | None -> None
+      | Some f -> go f rest)
+  in
+  go f changed
+
+let ensure_factor state =
+  match state.rfactor with
+  | None -> refactor state
+  | Some f ->
+    let changed = ref [] in
+    let n_changed = ref 0 in
+    for k = Array.length state.rmos - 1 downto 0 do
+      if moved state k then begin
+        changed := k :: !changed;
+        incr n_changed
+      end
+    done;
+    if !n_changed = 0 then begin
+      Util.Telemetry.count "engine.jacobian_bypass";
+      true
+    end
+    else if
+      !n_changed > max_moved
+      || !n_changed + Linear.Factor.updates f > max_chain
+    then refactor state
+    else begin
+      match apply_mos_updates state f !changed with
+      | Some f' ->
+        state.rfactor <- Some f';
+        List.iter
+          (fun k ->
+            state.rref_gm.(k) <- state.rcur_gm.(k);
+            state.rref_gds.(k) <- state.rcur_gds.(k))
+          !changed;
+        Util.Telemetry.count "engine.rank1_solves";
+        true
+      | None ->
+        Util.Telemetry.count "engine.rank1_fallbacks";
+        refactor state
+    end
+
+(* The right-hand side under a possibly stale factorization. Each MOSFET
+   ieq is built against the gm/gds *baked into the factorization* (rref),
+   not the fresh linearization: at a fixed point x of the resulting chord
+   iteration the rref terms cancel between the matrix stamps and ieq,
+   leaving exactly KCL with the exact device current id(x) — the same
+   nonlinear solution full Newton converges to, independent of how stale
+   the factorization is. *)
+let build_rhs_reuse state ~mode ~alpha ~t x =
+  let rhs = state.rrhs in
+  Array.fill rhs 0 state.rn 0.0;
+  let mk = ref 0 in
+  List.iter
+    (function
+      | CResistor _ -> ()
+      | CCapacitor (n1, n2, c) ->
+        (match mode with
+        | Dc_mode -> ()
+        | Transient_mode { h; x_prev } ->
+          let geq = c /. h in
+          let v_prev = v_of x_prev n1 -. v_of x_prev n2 in
+          stamp_current rhs (geq *. v_prev) ~into:n1 ~out_of:n2)
+      | CVsource { wave; branch; _ } -> rhs.(branch) <- alpha *. Waveform.value wave t
+      | CIsource { pos; neg; wave } ->
+        stamp_current rhs (alpha *. Waveform.value wave t) ~into:pos ~out_of:neg
+      | CMosfet _ ->
+        let k = !mk in
+        incr mk;
+        let m = state.rmos.(k) in
+        let vgs = v_of x m.mg -. v_of x m.ms in
+        let vds = v_of x m.md -. v_of x m.ms in
+        let ieq =
+          state.rcur_id.(k)
+          -. (state.rref_gm.(k) *. vgs)
+          -. (state.rref_gds.(k) *. vds)
+        in
+        stamp_current rhs ieq ~into:m.ms ~out_of:m.md)
+    state.rcompiled.cdevices
+
 (* --- Newton-Raphson --------------------------------------------------- *)
 
-let newton ~options ~mode ~alpha ~t compiled x0 =
+let newton_dense ~options ~mode ~alpha ~t compiled x0 =
   let n = compiled.n_unknowns in
   let x = Array.copy x0 in
   let a = Linear.matrix n in
@@ -274,12 +626,72 @@ let newton ~options ~mode ~alpha ~t compiled x0 =
   in
   iterate options.max_iterations
 
+
+(* Newton against the persistent-factorization state: identical damping
+   and convergence tests to [newton_dense], but the linear solve goes
+   through [ensure_factor] (bypass / rank-1 chain / re-factor). *)
+let newton_reuse ~state ~options ~mode ~alpha ~t compiled x0 =
+  let n = compiled.n_unknowns in
+  let x = Array.copy x0 in
+  let h = match mode with Dc_mode -> 0.0 | Transient_mode { h; _ } -> h in
+  if
+    not
+      (state.rconst_ok
+      && state.rconst_gmin = options.gmin
+      && state.rconst_h = h)
+  then rebuild_const state ~gmin:options.gmin ~h;
+  let rec iterate remaining =
+    if remaining = 0 then None
+    else begin
+      Util.Watchdog.tick ();
+      eval_mosfets state x;
+      if not (ensure_factor state) then None
+      else begin
+        build_rhs_reuse state ~mode ~alpha ~t x;
+        let x_new =
+          match state.rfactor with
+          | Some f -> Linear.Factor.solve_factored f state.rrhs
+          | None -> assert false
+        in
+        let converged = ref true in
+        for i = 0 to n - 1 do
+          let target = x_new.(i) in
+          let delta = target -. x.(i) in
+          let is_voltage = i < compiled.n_nodes in
+          let applied =
+            if is_voltage && Float.abs delta > options.max_step_voltage then begin
+              converged := false;
+              x.(i)
+              +. (if delta > 0. then options.max_step_voltage
+                  else -.options.max_step_voltage)
+            end
+            else target
+          in
+          let tol =
+            if is_voltage then options.vntol +. (options.reltol *. Float.abs applied)
+            else options.abstol +. (options.reltol *. Float.abs applied)
+          in
+          if Float.abs (applied -. x.(i)) > tol then converged := false;
+          x.(i) <- applied
+        done;
+        if !converged then Some (x, options.max_iterations - remaining + 1)
+        else iterate (remaining - 1)
+      end
+    end
+  in
+  iterate options.max_iterations
+
+let newton ~backend ~options ~mode ~alpha ~t compiled x0 =
+  match backend with
+  | Dense_backend -> newton_dense ~options ~mode ~alpha ~t compiled x0
+  | Reuse_backend state -> newton_reuse ~state ~options ~mode ~alpha ~t compiled x0
+
 (* Solve one point, recording how many Newton iterations were spent and
    which convergence aid finally succeeded. *)
-let solve_point_diag ~options ~mode ~t compiled x0 ~what =
+let solve_point_diag ~backend ~options ~mode ~t compiled x0 ~what =
   let spent = ref 0 in
   let try_newton ~options ~alpha x =
-    match newton ~options ~mode ~alpha ~t compiled x with
+    match newton ~backend ~options ~mode ~alpha ~t compiled x with
     | Some (x', used) ->
       spent := !spent + used;
       Some x'
@@ -331,8 +743,8 @@ let solve_point_diag ~options ~mode ~t compiled x0 ~what =
         Util.Telemetry.count "engine.no_convergence";
         raise (No_convergence what)))
 
-let solve_point ~options ~mode ~t compiled x0 ~what =
-  fst (solve_point_diag ~options ~mode ~t compiled x0 ~what)
+let solve_point ~backend ~options ~mode ~t compiled x0 ~what =
+  fst (solve_point_diag ~backend ~options ~mode ~t compiled x0 ~what)
 
 (* --- public analyses --------------------------------------------------- *)
 
@@ -342,9 +754,10 @@ let make_solution compiled ~t x =
 let dc_operating_point_diag ?options netlist =
   let options = resolve_options options in
   let compiled = compile netlist in
+  let backend = make_backend compiled in
   let x0 = Array.make compiled.n_unknowns 0.0 in
   let x, diag =
-    solve_point_diag ~options ~mode:Dc_mode ~t:0.0 compiled x0
+    solve_point_diag ~backend ~options ~mode:Dc_mode ~t:0.0 compiled x0
       ~what:"dc operating point"
   in
   make_solution compiled ~t:0.0 x, diag
@@ -356,9 +769,14 @@ let transient_diag ?options netlist ~stop ~step =
   if step <= 0. || stop < step then invalid_arg "Engine.transient: bad time grid";
   let options = resolve_options options in
   let compiled = compile netlist in
+  (* One backend for the whole transient: the factorization built at the
+     first step is reused (or cheaply updated) across every subsequent
+     step and sub-step — the dominant win on long ramps where the circuit
+     sits quiescent between clock edges. *)
+  let backend = make_backend compiled in
   let diag = ref no_diagnostics in
   let solve ~mode ~t x ~what =
-    let x', d = solve_point_diag ~options ~mode ~t compiled x ~what in
+    let x', d = solve_point_diag ~backend ~options ~mode ~t compiled x ~what in
     diag := merge_diagnostics !diag d;
     x'
   in
@@ -420,8 +838,9 @@ let dc_sweep ?options netlist ~source ~values =
     Netlist.remove_device netlist source;
     Netlist.add_vsource netlist ~name:source ~pos ~neg (Waveform.dc value);
     let compiled = compile netlist in
+    let backend = make_backend compiled in
     let x =
-      solve_point ~options ~mode:Dc_mode ~t:0.0 compiled seed
+      solve_point ~backend ~options ~mode:Dc_mode ~t:0.0 compiled seed
         ~what:(Printf.sprintf "dc sweep %s=%g" source value)
     in
     make_solution compiled ~t:0.0 x, x
@@ -477,8 +896,10 @@ let ac_sweep ?options netlist ~source ~frequencies =
       (Printf.sprintf "Engine.ac_sweep: %S is not a voltage source" source);
   (* Operating point for the linearization. *)
   let x0 = Array.make compiled.n_unknowns 0.0 in
+  let backend = make_backend compiled in
   let op =
-    solve_point ~options ~mode:Dc_mode ~t:0.0 compiled x0 ~what:"ac operating point"
+    solve_point ~backend ~options ~mode:Dc_mode ~t:0.0 compiled x0
+      ~what:"ac operating point"
   in
   let n = compiled.n_unknowns in
   let re v = { Complex.re = v; im = 0.0 } in

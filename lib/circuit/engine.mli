@@ -58,6 +58,52 @@ val escalation : options -> level:int -> options
     threading options through it. *)
 val with_options_override : options -> (unit -> 'a) -> 'a
 
+(** {1 Solver selection}
+
+    Every analysis allocates one solver backend per compiled netlist and
+    keeps it for the analysis's whole lifetime (all Newton iterations,
+    transient steps and stepping-fallback stages):
+
+    - [Dense] is the historical reference path: rebuild and LU-factor the
+      full MNA matrix on every Newton iteration. Bit-identical to the
+      pre-factorization engine; the baseline for bisecting regressions.
+    - [Rank1] keeps the factorization and re-uses it while no MOSFET
+      linearization has moved beyond a tight tolerance (Jacobian bypass),
+      folds small changes in as Sherman–Morrison rank-1 updates, and
+      re-factors only when many devices move at once or an update's
+      denominator guard trips.
+    - [Auto] (the default) is [Rank1] plus a per-compile structural
+      choice of LU kernel: if an RCM ordering of the node adjacency graph
+      yields a half-bandwidth well under the matrix size, the band-limited
+      kernel is used instead of the dense one.
+
+    All reuse/fallback decisions are pure functions of device values —
+    never of timing — so results are deterministic at any job count,
+    warm or cold. Telemetry: [engine.factorizations], [engine.rank1_solves],
+    [engine.jacobian_bypass], [engine.rank1_fallbacks]. *)
+
+type solver = Dense | Rank1 | Auto
+
+val default_solver : solver
+(** [Auto]. *)
+
+val solver_name : solver -> string
+val solver_of_string : string -> solver option
+
+val all_solvers : solver list
+(** In CLI-enumeration order: dense, rank1, auto. *)
+
+(** [with_solver s f] makes every analysis started inside [f] use solver
+    backend [s]. Scoped to the current domain and the dynamic extent of
+    [f] (nests, exception-safe), on a separate key from
+    {!with_options_override} so retry escalation cannot clobber it. Note
+    domain-local state does not propagate into pool workers — parallel
+    drivers must re-install the override inside each worker task. *)
+val with_solver : solver -> (unit -> 'a) -> 'a
+
+val current_solver : unit -> solver
+(** The solver in effect: innermost {!with_solver}, else {!default_solver}. *)
+
 (** {1 Convergence diagnostics} *)
 
 (** Which convergence aid produced the solution. *)

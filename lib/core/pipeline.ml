@@ -14,6 +14,7 @@ module Config = struct
     cache : Util.Cache.t option;
     deadline : Util.Watchdog.limits option;
     checkpoint : Checkpoint.t option;
+    solver : Circuit.Engine.solver;
   }
 
   let default =
@@ -32,6 +33,7 @@ module Config = struct
       cache = None;
       deadline = None;
       checkpoint = None;
+      solver = Circuit.Engine.default_solver;
     }
 
   let with_tech tech config = { config with tech }
@@ -59,6 +61,7 @@ module Config = struct
   let with_cache_handle cache config = { config with cache }
   let with_deadline deadline config = { config with deadline }
   let with_checkpoint checkpoint config = { config with checkpoint }
+  let with_solver solver config = { config with solver }
 end
 
 open Config
@@ -174,6 +177,11 @@ let cache_key config (macro : Macro.Macro_cell.t) ~nominal_netlist ~cell =
       Printf.sprintf "seed=%d" config.seed;
       Printf.sprintf "max_retries=%d" config.max_retries;
       Printf.sprintf "strict=%b" config.strict;
+      (* All solver backends are required to produce identical tables;
+         the choice is still part of the content address so a backend
+         regression can never poison a warm cache and a bisection against
+         [dense] always re-simulates. *)
+      "solver=" ^ Circuit.Engine.solver_name config.solver;
       (match config.inject_failures with
       | None -> "inject=none"
       | Some fraction -> Printf.sprintf "inject=%h" fraction);
@@ -315,8 +323,9 @@ let analyze config (macro : Macro.Macro_cell.t) =
         (List.length classes_non_catastrophic));
   let good =
     timed "good-space" (fun () ->
-        Macro.Good_space.compile ~n:config.good_space_dies ~k:config.sigma
-          ~tech:config.tech macro good_prng)
+        Circuit.Engine.with_solver config.solver (fun () ->
+            Macro.Good_space.compile ~n:config.good_space_dies ~k:config.sigma
+              ~tech:config.tech macro good_prng))
   in
   let inject = injection_of config in
   (* Checkpointing stores partials through the result cache, so it is
@@ -342,7 +351,7 @@ let analyze config (macro : Macro.Macro_cell.t) =
     in
     Macro.Evaluate.run ~retries:config.max_retries ?inject
       ?deadline:config.deadline ?resume ?on_outcome ~strict:config.strict
-      ~macro ~good classes
+      ~solver:config.solver ~macro ~good classes
   in
   (* The flush finalizer is what makes an interrupt lose at most the
      in-flight classes: the pool drains them, the exception unwinds

@@ -59,6 +59,11 @@ module Config : sig
             (default [None] = off). Requires [cache] — partials are
             stored through it under the macro's key — and is inert
             without one. See {!Checkpoint}. *)
+    solver : Circuit.Engine.solver;
+        (** linear-solver backend for every simulation stage (default
+            {!Circuit.Engine.default_solver} = [Auto]). All backends must
+            produce identical tables; [Dense] is the reference path for
+            bisecting solver regressions. Part of the cache key. *)
   }
 
   val default : t
@@ -92,6 +97,8 @@ module Config : sig
       checkpointing; keep the registry to read {!Checkpoint.stats}
       after the run. *)
   val with_checkpoint : Checkpoint.t option -> t -> t
+
+  val with_solver : Circuit.Engine.solver -> t -> t
 end
 
 (** Containment counters for one macro, plus stage wall-clock times.

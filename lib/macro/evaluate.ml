@@ -124,15 +124,28 @@ let evaluate_class ?(retries = default_retries) ?inject
     }
 
 let run ?jobs ?retries ?inject ?deadline ?resume ?on_outcome
-    ?(strict = false) ~(macro : Macro_cell.t) ~good classes =
+    ?(strict = false) ?solver ~(macro : Macro_cell.t) ~good classes =
+  (* Solver choice must survive the hop into pool worker domains:
+     domain-local overrides installed by the caller do not propagate, so
+     the effective solver is resolved here and re-installed explicitly
+     inside every worker task. *)
+  let solver =
+    match solver with
+    | Some s -> s
+    | None -> Circuit.Engine.current_solver ()
+  in
   (* The nominal netlist is built once and shared by every class: injection
      copies it before mutating, so parallel workers only ever read it. *)
   let nominal =
     macro.Macro_cell.build (Process.Variation.nominal Process.Tech.cmos1um)
   in
-  let golden = macro.Macro_cell.measure nominal in
+  let golden =
+    Circuit.Engine.with_solver solver (fun () ->
+        macro.Macro_cell.measure nominal)
+  in
   Util.Pool.parallel_mapi ?jobs
     (fun index fc ->
+      Circuit.Engine.with_solver solver @@ fun () ->
       Util.Telemetry.with_span
         ~attrs:
           [

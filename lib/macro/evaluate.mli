@@ -89,6 +89,12 @@ val evaluate_class :
     Iteration caps preserve the any-job-count byte-identity contract;
     wall-clock caps are machine-dependent and best-effort.
 
+    [?solver] picks the {!Circuit.Engine.solver} backend for the golden
+    measurement and every class simulation. It defaults to the solver in
+    effect at the call ({!Circuit.Engine.current_solver}), and is
+    re-installed inside each pool worker — domain-local [with_solver]
+    scopes do not propagate into worker domains on their own.
+
     [?resume] and [?on_outcome] are the checkpoint hooks (see
     [Core.Checkpoint]): [resume index] may return a previously persisted
     outcome for the class at [index] — it is used {e only} if its fault
@@ -106,6 +112,7 @@ val run :
   ?resume:(int -> outcome option) ->
   ?on_outcome:(int -> outcome -> unit) ->
   ?strict:bool ->
+  ?solver:Circuit.Engine.solver ->
   macro:Macro_cell.t ->
   good:Good_space.t ->
   Fault.Collapse.fault_class list ->

@@ -35,6 +35,109 @@ let test_linear_residual () =
   let x = Linear.solve_copy a b in
   Alcotest.(check bool) "residual small" true (Linear.residual a x b < 1e-9)
 
+let test_linear_scaled_singularity () =
+  (* Well-conditioned but tiny: every pivot is ~1e-305, far below the
+     historical absolute 1e-300 floor. The relative singularity test must
+     solve it rather than raise. *)
+  let a = [| [| 1e-305; 0. |]; [| 0.; 2e-305 |] |] in
+  let b = [| 1e-305; 4e-305 |] in
+  let x = Linear.solve_copy a b in
+  check_float 1e-9 "x0" 1.0 x.(0);
+  check_float 1e-9 "x1" 2.0 x.(1);
+  (* The all-zero matrix is still singular under the relative rule. *)
+  Alcotest.check_raises "zero matrix" Linear.Singular (fun () ->
+      ignore (Linear.solve_copy (Linear.matrix 2) [| 0.; 0. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Linear.Factor                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_factor_matches_solve_copy () =
+  let a = [| [| 4.; 1.; 0. |]; [| 1.; 5.; 2. |]; [| 0.; 2.; 6. |] |] in
+  let f = Linear.Factor.factor a in
+  Alcotest.(check int) "size" 3 (Linear.Factor.size f);
+  Alcotest.(check int) "no updates" 0 (Linear.Factor.updates f);
+  Alcotest.(check bool) "dense kernel" false (Linear.Factor.is_banded f);
+  (* One factorization, many right-hand sides: each solve must match a
+     from-scratch dense solve exactly (same kernel, same arithmetic). *)
+  List.iter
+    (fun b ->
+      let x = Linear.Factor.solve_factored f b in
+      let y = Linear.solve_copy a b in
+      Array.iteri
+        (fun i xi -> check_float 0.0 (Printf.sprintf "x%d" i) y.(i) xi)
+        x)
+    [ [| 1.; -2.; 3. |]; [| 0.5; 4.; -1. |]; [| 0.; 0.; 1. |] ]
+
+let test_factor_rank1_agrees () =
+  let a = [| [| 3.; 1.; 0. |]; [| 1.; 4.; 1. |]; [| 0.; 1.; 5. |] |] in
+  let u = [| 1.; 0.; -1. |] and v = [| 0.; 2.; 1. |] and c = 0.5 in
+  let f = Linear.Factor.factor a in
+  match Linear.Factor.rank1_update f ~c ~u ~v with
+  | None -> Alcotest.fail "guard fired on a well-conditioned update"
+  | Some f' ->
+    Alcotest.(check int) "one update" 1 (Linear.Factor.updates f');
+    Alcotest.(check int) "original untouched" 0 (Linear.Factor.updates f);
+    let a' =
+      Array.init 3 (fun i ->
+          Array.init 3 (fun j -> a.(i).(j) +. (c *. u.(i) *. v.(j))))
+    in
+    let b = [| 1.; 2.; 3. |] in
+    let x = Linear.Factor.solve_factored f' b in
+    let y = Linear.solve_copy a' b in
+    Array.iteri
+      (fun i xi -> check_float 1e-9 (Printf.sprintf "x%d" i) y.(i) xi)
+      x
+
+let test_factor_rank1_fallback () =
+  (* A = I, u = v = e0, c = -1 zeroes the (0,0) entry: the Sherman–
+     Morrison denominator 1 + c·vᵀA⁻¹u is exactly 0, so the update must
+     refuse and hand the caller back to a full re-factorization. *)
+  let n = 3 in
+  let a = Linear.matrix n in
+  for i = 0 to n - 1 do
+    a.(i).(i) <- 1.0
+  done;
+  let e0 = Array.make n 0.0 in
+  e0.(0) <- 1.0;
+  let f = Linear.Factor.factor a in
+  (match Linear.Factor.rank1_update f ~c:(-1.0) ~u:e0 ~v:e0 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "near-singular update must return None");
+  (* A harmless update on the same base still goes through. *)
+  match Linear.Factor.rank1_update f ~c:0.5 ~u:e0 ~v:e0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "well-conditioned update must succeed"
+
+let test_factor_banded_permute () =
+  (* A chain graph presented in scrambled order: RCM recovers a
+     bandwidth-1 ordering and the band-limited kernel must agree with
+     the dense one. *)
+  let n = 8 in
+  (* label.(i) = matrix index of chain vertex i *)
+  let label = [| 3; 6; 0; 5; 1; 7; 2; 4 |] in
+  let a = Linear.matrix n in
+  for i = 0 to n - 1 do
+    a.(i).(i) <- 4.0
+  done;
+  let edges = ref [] in
+  for i = 0 to n - 2 do
+    let p = label.(i) and q = label.(i + 1) in
+    a.(p).(q) <- -1.0;
+    a.(q).(p) <- -1.0;
+    edges := (p, q) :: !edges
+  done;
+  let perm = Linear.rcm ~n !edges in
+  Alcotest.(check int) "rcm bandwidth" 1 (Linear.bandwidth_under ~perm !edges);
+  let f = Linear.Factor.factor ~permute:perm a in
+  Alcotest.(check bool) "banded kernel" true (Linear.Factor.is_banded f);
+  let b = Array.init n (fun i -> float_of_int (i - 3)) in
+  let x = Linear.Factor.solve_factored f b in
+  let y = Linear.solve_copy a b in
+  Array.iteri
+    (fun i xi -> check_float 1e-12 (Printf.sprintf "x%d" i) y.(i) xi)
+    x
+
 (* ------------------------------------------------------------------ *)
 (* Waveform                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -429,6 +532,95 @@ let test_transient_rejects_bad_grid () =
       ignore (Engine.transient nl ~stop:1.0 ~step:0.0))
 
 (* ------------------------------------------------------------------ *)
+(* Engine: solver backends                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_solver_names_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Engine.solver_name s ^ " round-trips")
+        true
+        (Engine.solver_of_string (Engine.solver_name s) = Some s))
+    Engine.all_solvers;
+  Alcotest.(check bool) "unknown rejected" true
+    (Engine.solver_of_string "cholesky" = None)
+
+let test_with_solver_scoped () =
+  Alcotest.(check bool) "default in effect" true
+    (Engine.current_solver () = Engine.default_solver);
+  Engine.with_solver Engine.Dense (fun () ->
+      Alcotest.(check bool) "override visible" true
+        (Engine.current_solver () = Engine.Dense);
+      Engine.with_solver Engine.Rank1 (fun () ->
+          Alcotest.(check bool) "nested override" true
+            (Engine.current_solver () = Engine.Rank1));
+      Alcotest.(check bool) "inner scope popped" true
+        (Engine.current_solver () = Engine.Dense));
+  Alcotest.(check bool) "restored" true
+    (Engine.current_solver () = Engine.default_solver)
+
+let test_solver_backends_agree () =
+  (* The inverter transient under every backend: node voltages must
+     agree to far tighter than any signature-classification threshold,
+     and the fast path must actually fire under Rank1/Auto — otherwise
+     the comparison proves nothing. *)
+  let run solver =
+    let nl = Netlist.create () in
+    let vdd = Netlist.node nl "vdd" in
+    let vin = Netlist.node nl "in" in
+    let out = Netlist.node nl "out" in
+    Netlist.add_vsource nl ~name:"VDD" ~pos:vdd ~neg:Netlist.ground
+      (Waveform.dc 5.0);
+    Netlist.add_vsource nl ~name:"VIN" ~pos:vin ~neg:Netlist.ground
+      (Waveform.pulse ~v0:0.0 ~v1:5.0 ~delay:10e-9 ~rise:1e-9 ~fall:1e-9
+         ~width:30e-9 ~period:100e-9);
+    Netlist.add_mosfet nl ~name:"MN" ~drain:out ~gate:vin
+      ~source:Netlist.ground ~bulk:Netlist.ground nmos_spec;
+    Netlist.add_mosfet nl ~name:"MP" ~drain:out ~gate:vin ~source:vdd
+      ~bulk:vdd pmos_spec;
+    Netlist.add_capacitor nl ~name:"CL" out Netlist.ground 50e-15;
+    let memory = Util.Telemetry.in_memory () in
+    let sols =
+      Util.Telemetry.with_sink (Util.Telemetry.memory_sink memory)
+      @@ fun () ->
+      Engine.with_solver solver (fun () ->
+          let sols = Engine.transient nl ~stop:50e-9 ~step:0.5e-9 in
+          Util.Telemetry.flush_local ();
+          sols)
+    in
+    let counters =
+      (Util.Telemetry.metrics memory).Util.Telemetry.Metrics.counters
+    in
+    let counter name =
+      match List.assoc_opt name counters with Some n -> n | None -> 0
+    in
+    List.map (fun s -> Engine.time s, Engine.voltage s out) sols, counter
+  in
+  let dense, _ = run Engine.Dense in
+  List.iter
+    (fun solver ->
+      let name = Engine.solver_name solver in
+      let fast, counter = run solver in
+      Alcotest.(check int)
+        (name ^ ": same step count")
+        (List.length dense) (List.length fast);
+      List.iter2
+        (fun (t, v) (t', v') ->
+          check_float 0.0 (Printf.sprintf "%s: time %g" name t) t t';
+          check_float 1e-6 (Printf.sprintf "%s: out @ %g" name t) v v')
+        dense fast;
+      Alcotest.(check bool)
+        (name ^ ": factorizations counted")
+        true
+        (counter "engine.factorizations" > 0);
+      Alcotest.(check bool)
+        (name ^ ": fast path fired")
+        true
+        (counter "engine.jacobian_bypass" + counter "engine.rank1_solves" > 0))
+    [ Engine.Rank1; Engine.Auto ]
+
+(* ------------------------------------------------------------------ *)
 (* Engine: AC                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -593,6 +785,57 @@ let qcheck_props =
             .Mos_model.id
         in
         at (vgs +. 0.1) >= at vgs);
+    Test.make ~name:"linear: rank-1 update agrees with from-scratch factor"
+      (pair (int_range 2 8) (int_range 0 100_000))
+      (fun (n, seed) ->
+        (* A deterministic LCG keeps the matrix a pure function of the
+           generated seed, so shrinking stays meaningful. *)
+        let state = ref ((2 * seed) + 1) in
+        let rand () =
+          state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+          (float_of_int !state /. float_of_int 0x3FFFFFFF) -. 0.5
+        in
+        let a = Array.init n (fun _ -> Array.init n (fun _ -> rand ())) in
+        (* Diagonally dominant — the SPD-ish shape gmin-stamped MNA
+           matrices have, and safely far from the singularity guard. *)
+        for i = 0 to n - 1 do
+          let s = Array.fold_left (fun acc x -> acc +. Float.abs x) 0.0 a.(i) in
+          a.(i).(i) <- s +. 1.0
+        done;
+        let u = Array.init n (fun _ -> rand ()) in
+        let v = Array.init n (fun _ -> rand ()) in
+        let c = rand () in
+        let b = Array.init n (fun _ -> rand ()) in
+        let f = Linear.Factor.factor a in
+        (match Linear.Factor.rank1_update f ~c ~u ~v with
+        | None -> true (* guard fired: legal, the caller re-factors *)
+        | Some f' ->
+          let a' =
+            Array.init n (fun i ->
+                Array.init n (fun j -> a.(i).(j) +. (c *. u.(i) *. v.(j))))
+          in
+          let x = Linear.Factor.solve_factored f' b in
+          let y = Linear.solve_copy a' b in
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            if Float.abs (x.(i) -. y.(i)) > 1e-9 then ok := false
+          done;
+          !ok));
+    Test.make ~name:"linear: rank-1 guard refuses singular updates"
+      (int_range 2 8)
+      (fun n ->
+        (* A = I, u = v = e0, c = -1 makes A + c·u·vᵀ exactly singular:
+           the denominator guard must refuse at every size. *)
+        let a = Linear.matrix n in
+        for i = 0 to n - 1 do
+          a.(i).(i) <- 1.0
+        done;
+        let e0 = Array.make n 0.0 in
+        e0.(0) <- 1.0;
+        let f = Linear.Factor.factor a in
+        match Linear.Factor.rank1_update f ~c:(-1.0) ~u:e0 ~v:e0 with
+        | None -> true
+        | Some _ -> false);
     Test.make ~name:"waveform: pwl stays within value envelope"
       (pair (list_of_size (Gen.int_range 1 8) (float_range (-5.) 5.)) (float_range (-1.) 10.))
       (fun (values, t) ->
@@ -612,6 +855,13 @@ let suites =
         Alcotest.test_case "pivoting" `Quick test_linear_needs_pivoting;
         Alcotest.test_case "singular" `Quick test_linear_singular;
         Alcotest.test_case "residual" `Quick test_linear_residual;
+        Alcotest.test_case "scaled singularity" `Quick
+          test_linear_scaled_singularity;
+        Alcotest.test_case "factor matches solve_copy" `Quick
+          test_factor_matches_solve_copy;
+        Alcotest.test_case "rank-1 agrees" `Quick test_factor_rank1_agrees;
+        Alcotest.test_case "rank-1 fallback" `Quick test_factor_rank1_fallback;
+        Alcotest.test_case "banded permute" `Quick test_factor_banded_permute;
       ] );
     ( "circuit.waveform",
       [
@@ -651,6 +901,12 @@ let suites =
         Alcotest.test_case "inverter switches" `Quick test_transient_inverter_switches;
         Alcotest.test_case "inverter IDDQ tiny" `Quick test_transient_supply_current_inverter;
         Alcotest.test_case "rejects bad grid" `Quick test_transient_rejects_bad_grid;
+      ] );
+    ( "circuit.engine.solver",
+      [
+        Alcotest.test_case "names round-trip" `Quick test_solver_names_roundtrip;
+        Alcotest.test_case "with_solver scoped" `Quick test_with_solver_scoped;
+        Alcotest.test_case "backends agree" `Quick test_solver_backends_agree;
       ] );
     ( "circuit.engine.ac",
       [

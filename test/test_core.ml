@@ -512,6 +512,14 @@ let test_cache_key_sensitivity () =
   let seeded = Core.Pipeline.Config.with_seed 77 telemetry_config in
   let _, s = analyze_cached ~dir ~jobs:1 seeded in
   Alcotest.(check int) "different seed misses" 1 s.Util.Cache.misses;
+  (* The solver backend is part of the key: even though all backends are
+     required to produce identical tables, a backend regression must
+     never be able to poison a warm cache for the others. *)
+  let dense =
+    Core.Pipeline.Config.with_solver Circuit.Engine.Dense telemetry_config
+  in
+  let _, sd = analyze_cached ~dir ~jobs:1 dense in
+  Alcotest.(check int) "different solver misses" 1 sd.Util.Cache.misses;
   (* ...while the DfT comparator variant shares the macro name but not
      the netlist, so it must also miss rather than alias. *)
   let cache = Util.Cache.create ~dir ~version:Core.Codec.version () in
@@ -710,6 +718,50 @@ let test_deadline_part_of_cache_key () =
   Alcotest.(check int) "deadline config misses" 1 s.Util.Cache.misses;
   Alcotest.(check int) "no false hit" 0 s.Util.Cache.hits
 
+(* --- solver backends --------------------------------------------------- *)
+
+(* The solver determinism contract: every backend produces byte-identical
+   tables and health counters at any job count, clean or fault-injected.
+   [Dense] at jobs=1 is the reference; the factorization-reuse backends
+   must match it exactly — reuse and fallback decisions are functions of
+   the numbers, never of timing or scheduling. *)
+let test_solver_tables_invariant () =
+  let analyze ~solver ~jobs config =
+    let saved = Util.Pool.jobs () in
+    Util.Pool.set_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Util.Pool.set_jobs saved)
+      (fun () ->
+        Core.Pipeline.analyze
+          (Core.Pipeline.Config.with_solver solver config)
+          (Adc.Comparator.macro Adc.Comparator.default_options))
+  in
+  List.iter
+    (fun (tag, config) ->
+      let reference =
+        analysis_fingerprint
+          (analyze ~solver:Circuit.Engine.Dense ~jobs:1 config)
+      in
+      List.iter
+        (fun solver ->
+          List.iter
+            (fun jobs ->
+              if not (solver = Circuit.Engine.Dense && jobs = 1) then
+                Alcotest.(check string)
+                  (Printf.sprintf "%s equals dense (%s, jobs=%d)"
+                     (Circuit.Engine.solver_name solver)
+                     tag jobs)
+                  reference
+                  (analysis_fingerprint (analyze ~solver ~jobs config)))
+            [ 1; 4 ])
+        Circuit.Engine.all_solvers)
+    [
+      "clean", telemetry_config;
+      ( "injected",
+        Core.Pipeline.Config.with_inject_failures (Some 0.2) telemetry_config
+      );
+    ]
+
 let test_run_survival_renders () =
   let contains hay needle =
     let n = String.length needle and h = String.length hay in
@@ -861,6 +913,11 @@ let suites =
           test_deadline_part_of_cache_key;
         Alcotest.test_case "run survival renders" `Quick
           test_run_survival_renders;
+      ] );
+    ( "core.solver",
+      [
+        Alcotest.test_case "tables invariant across backends and jobs" `Slow
+          test_solver_tables_invariant;
       ] );
     ( "core.report",
       [
