@@ -11,6 +11,11 @@
      --json          emit per-stage timings of the comparator pipeline as
                      one JSON object on stdout and exit (machine-readable
                      perf trajectory; nothing else is printed)
+     --serve-stress  stand up an in-process dotest service on a Unix
+                     socket, hammer it with concurrent clients mixing
+                     warm and cold request keys, and emit one JSON object
+                     (schema dotest-bench/7) with latency percentiles,
+                     cache hit rate and shed/coalesced counts
      --cache DIR     persist per-macro results under DIR; a warm --json
                      run reports cache "warm" with nonzero hits
      --deadline S    wall-clock budget per fault-class simulation attempt
@@ -20,6 +25,7 @@
                      auto); all backends produce identical tables          *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
+let serve_stress = Array.exists (( = ) "--serve-stress") Sys.argv
 let timings = Array.exists (( = ) "--timings") Sys.argv
 let no_ablations = Array.exists (( = ) "--no-ablations") Sys.argv
 let json_mode = Array.exists (( = ) "--json") Sys.argv
@@ -624,9 +630,149 @@ let json_run () =
   print_endline (Util.Json.to_string json)
 
 (* ------------------------------------------------------------------ *)
+(* Service stress (--serve-stress)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Concurrency benchmark of the PR-9 analysis service: one serve loop on
+   a Unix socket, [clients] threads each sending [per_client] requests
+   over the versioned wire API. The key mix is deliberate: even slots
+   repeat the warmup request (pure result-cache hits), odd slots share a
+   per-slot cold seed across all clients (so concurrent duplicates
+   coalesce onto one flight). Schema 7 = this run's latency percentiles
+   plus the service's own counters. *)
+let serve_stress_run () =
+  let clients = 8 in
+  let per_client = if quick then 2 else 4 in
+  let tmp =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dotest-serve-bench-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir tmp 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let cache =
+    match cache with
+    | Some c -> c
+    | None ->
+      Util.Cache.create
+        ~dir:(Filename.concat tmp "cache")
+        ~version:Core.Codec.version ()
+  in
+  let service = Core.Service.create ~cache ~jobs ~max_pending:64 () in
+  let address = Core.Service.Unix_socket (Filename.concat tmp "bench.sock") in
+  let ready = Mutex.create () and ready_cond = Condition.create () in
+  let listening = ref false in
+  let server =
+    Thread.create
+      (fun () ->
+        Core.Service.serve
+          ~on_ready:(fun _ ->
+            Mutex.lock ready;
+            listening := true;
+            Condition.broadcast ready_cond;
+            Mutex.unlock ready)
+          service address)
+      ()
+  in
+  Mutex.lock ready;
+  while not !listening do
+    Condition.wait ready_cond ready
+  done;
+  Mutex.unlock ready;
+  let base =
+    Core.Request.(
+      default
+      |> with_target (Global { dft = false })
+      |> with_defects (if quick then 200 else 500)
+      |> with_good_space_dies (if quick then 4 else 8))
+  in
+  let request_for ~client ~slot =
+    let r =
+      if slot mod 2 = 0 then base
+      else Core.Request.with_seed (31 + slot) base
+    in
+    Core.Request.with_id
+      (Some (Printf.sprintf "c%d-r%d" client slot))
+      r
+  in
+  (* Warm the even-slot key so the stressed run sees real cross-request
+     cache hits, not just a cold start. *)
+  (match Core.Service.call address base with
+  | Ok _ -> ()
+  | Error e ->
+    Printf.eprintf "bench: warmup failed: %s\n%!" e.Core.Request.message;
+    exit 1);
+  let latencies = Array.make (clients * per_client) 0.0 in
+  let ok = Atomic.make 0 and errors = Atomic.make 0 in
+  let client_thread client =
+    Thread.create
+      (fun () ->
+        for slot = 0 to per_client - 1 do
+          let t0 = Unix.gettimeofday () in
+          let response =
+            Core.Service.call address (request_for ~client ~slot)
+          in
+          latencies.((client * per_client) + slot) <-
+            Unix.gettimeofday () -. t0;
+          match response with
+          | Ok _ -> Atomic.incr ok
+          | Error _ -> Atomic.incr errors
+        done)
+      ()
+  in
+  let threads = List.init clients client_thread in
+  List.iter Thread.join threads;
+  Core.Service.initiate_shutdown service;
+  Thread.join server;
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
+  let percentile p =
+    sorted.(int_of_float (p *. float_of_int (Array.length sorted - 1)))
+  in
+  let s = Core.Service.stats service in
+  let hit_rate =
+    let total = s.Core.Service.cache_hits + s.Core.Service.cache_misses in
+    if total = 0 then 0.0
+    else float_of_int s.Core.Service.cache_hits /. float_of_int total
+  in
+  let json =
+    Util.Json.Obj
+      [
+        "schema", Util.Json.String "dotest-bench/7";
+        "mode", Util.Json.String (if quick then "quick" else "full");
+        "jobs", Util.Json.Int jobs;
+        "clients", Util.Json.Int clients;
+        "requests_per_client", Util.Json.Int per_client;
+        "requests", Util.Json.Int (clients * per_client);
+        "ok", Util.Json.Int (Atomic.get ok);
+        "errors", Util.Json.Int (Atomic.get errors);
+        ( "latency",
+          Util.Json.Obj
+            [
+              "p50_s", Util.Json.Float (percentile 0.50);
+              "p99_s", Util.Json.Float (percentile 0.99);
+              "max_s", Util.Json.Float sorted.(Array.length sorted - 1);
+            ] );
+        ( "service",
+          Util.Json.Obj
+            [
+              "submitted", Util.Json.Int s.Core.Service.submitted;
+              "completed", Util.Json.Int s.Core.Service.completed;
+              "failed", Util.Json.Int s.Core.Service.failed;
+              "shed", Util.Json.Int s.Core.Service.shed;
+              "coalesced", Util.Json.Int s.Core.Service.coalesced;
+              "cache_hits", Util.Json.Int s.Core.Service.cache_hits;
+              "cache_misses", Util.Json.Int s.Core.Service.cache_misses;
+              "cache_hit_rate", Util.Json.Float hit_rate;
+            ] );
+      ]
+  in
+  print_endline (Util.Json.to_string json)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
-  if json_mode then json_run ()
+  if serve_stress then serve_stress_run ()
+  else if json_mode then json_run ()
   else begin
     Format.printf
       "dotest benchmark harness — reproduction of Kuijstermans, Thijssen & \

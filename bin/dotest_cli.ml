@@ -420,7 +420,7 @@ let dft_cmd =
         ~solver ()
     in
     let original, improved =
-      handle_failures (fun () -> Dft.Measures.compare_coverage ~config ())
+      handle_failures (fun () -> Core.Global.compare_coverage ~config ())
     in
     print_table ~format "Fig. 4: before DfT" (Core.Report.figure4 original);
     print_table ~format "Fig. 5: after DfT" (Core.Report.figure4 improved);
@@ -438,6 +438,154 @@ let dft_cmd =
     Term.(
       const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ trace
       $ metrics_flag $ cache_dir $ no_cache $ solver_arg $ format_arg)
+
+(* --- the analysis service ----------------------------------------------- *)
+
+let listen_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Serve on $(docv): $(b,unix:PATH) (or a bare socket path) for a \
+           Unix-domain socket, $(b,HOST:PORT) for TCP. The protocol is \
+           newline-delimited JSON, one request and one response per line \
+           (see the dotest-api/1 schema).")
+
+let connect_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:"Address of a running $(b,dotest serve) (same syntax as its \
+              $(b,--listen)).")
+
+let max_pending =
+  Arg.(
+    value & opt int 16
+    & info [ "max-pending" ] ~docv:"N"
+        ~doc:
+          "Admission-control bound: distinct analyses queued or running at \
+           once. Beyond it the service sheds load with an $(b,overloaded) \
+           error carrying a retry_after hint. Requests identical to one \
+           already in flight always attach to it (coalescing) and do not \
+           count against the bound.")
+
+let request_id =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "id" ] ~docv:"ID"
+        ~doc:"Correlation id echoed verbatim in the response.")
+
+let address_of ~addr =
+  match Core.Service.address_of_string addr with
+  | Ok address -> address
+  | Error msg ->
+    Format.eprintf "dotest: %s@." msg;
+    exit 2
+
+let serve_cmd =
+  let run verbose jobs listen max_pending failure_budget trace metrics
+      cache_dir no_cache =
+    setup_logging verbose;
+    with_telemetry ~trace ~metrics @@ fun sink memory ->
+    let address = address_of ~addr:listen in
+    let cache = cache_handle ~cache_dir ~no_cache in
+    let service =
+      Core.Service.create ?cache ~jobs ~telemetry:sink ?failure_budget
+        ~max_pending ()
+    in
+    (* First signal: drain — finish queued and running analyses, refuse
+       new ones, exit 0. Second signal: escalate to the cooperative
+       watchdog, which aborts in-flight pipeline work (checkpoints still
+       flush on the way out). *)
+    let graceful signal =
+      if Core.Service.draining service then
+        Util.Watchdog.request_shutdown
+          ~reason:(if signal = Sys.sigint then "second SIGINT" else "second SIGTERM")
+          ()
+      else Core.Service.initiate_shutdown service
+    in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle graceful);
+    let on_ready bound =
+      Format.eprintf "dotest: serving on %s@."
+        (Core.Service.address_to_string bound)
+    in
+    Core.Service.serve ~on_ready service address;
+    let s = Core.Service.stats service in
+    Format.eprintf
+      "dotest: drained; %d submitted, %d completed, %d failed, %d shed, %d \
+       coalesced, cache %d/%d hits/misses@."
+      s.Core.Service.submitted s.Core.Service.completed s.Core.Service.failed
+      s.Core.Service.shed s.Core.Service.coalesced s.Core.Service.cache_hits
+      s.Core.Service.cache_misses;
+    print_cache_stats ~format:`Text cache;
+    print_metrics ~format:`Text memory
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve analyses over a socket: a shared result cache, domain pool, \
+          telemetry sink and failure budget behind the versioned \
+          dotest-api/1 request API. Duplicate in-flight requests are \
+          computed once; SIGTERM drains and exits 0.")
+    Term.(
+      const run $ verbose $ jobs $ listen_arg $ max_pending $ failure_budget
+      $ trace $ metrics_flag $ cache_dir $ no_cache)
+
+let request_cmd =
+  let run connect target dft defects dies sigma seed max_retries strict
+      inject_failures deadline deadline_iterations solver format id =
+    let address = address_of ~addr:connect in
+    let target =
+      match Core.Request.target_of_name ~name:target ~dft with
+      | Ok target -> target
+      | Error msg ->
+        Format.eprintf "dotest: %s@." msg;
+        exit 2
+    in
+    let request =
+      Core.Request.(
+        default |> with_id id |> with_target target |> with_defects defects
+        |> with_good_space_dies dies |> with_sigma sigma |> with_seed seed
+        |> with_max_retries max_retries |> with_strict strict
+        |> with_inject_failures inject_failures
+        |> with_deadline (deadline_of ~deadline ~deadline_iterations)
+        |> with_solver solver |> with_format format)
+    in
+    match Core.Service.call address request with
+    | Ok reply ->
+      List.iter
+        (fun { Core.Request.title; body } ->
+          Format.printf "@.== %s ==@.%s@." title body)
+        reply.Core.Request.tables
+    | Error e ->
+      Format.eprintf "dotest: %s: %s%s@."
+        (Core.Request.error_code_name e.Core.Request.code)
+        e.Core.Request.message
+        (match e.Core.Request.retry_after with
+        | Some seconds -> Printf.sprintf " (retry after %g s)" seconds
+        | None -> "");
+      exit (match e.Core.Request.code with Core.Request.Shutting_down -> 4 | _ -> 3)
+  in
+  let target_pos =
+    Arg.(
+      required
+      & pos 0 (some (enum [ "comparator", "comparator"; "global", "global" ])) None
+      & info [] ~docv:"TARGET"
+          ~doc:"What to analyse: $(b,comparator) or $(b,global).")
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one analysis request to a running $(b,dotest serve) and print \
+          the reply tables exactly as the equivalent local command would.")
+    Term.(
+      const run $ connect_arg $ target_pos $ dft $ defects $ dies $ sigma
+      $ seed $ max_retries $ strict $ inject_failures $ deadline_arg
+      $ deadline_iterations $ solver_arg $ format_arg $ request_id)
 
 let ramp_cmd =
   let run samples =
@@ -475,4 +623,14 @@ let ramp_cmd =
 let () =
   let doc = "defect-oriented test methodology for complex mixed-signal circuits" in
   let info = Cmd.info "dotest" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ comparator_cmd; global_cmd; dft_cmd; ramp_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            comparator_cmd;
+            global_cmd;
+            dft_cmd;
+            serve_cmd;
+            request_cmd;
+            ramp_cmd;
+          ]))

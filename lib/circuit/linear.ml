@@ -364,10 +364,6 @@ module Factor = struct
     end
 end
 
-let solve_copy a b =
-  let f = Factor.factor a in
-  Factor.solve_factored f b
-
 let residual a x b =
   let n = Array.length b in
   let worst = ref 0.0 in

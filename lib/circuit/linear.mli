@@ -4,8 +4,8 @@
     kernels are dense LU with partial pivoting (optionally band-limited
     under an RCM permutation). The primary surface is {!Factor}: factor a
     matrix once, then reuse the factorization across many right-hand
-    sides and cheap Sherman–Morrison rank-1 corrections. [solve] and
-    [solve_copy] remain as thin wrappers over the same kernels.
+    sides and cheap Sherman–Morrison rank-1 corrections. The in-place
+    [solve] remains as a thin wrapper over the same kernels.
 
     Singularity is judged relative to the matrix's largest entry (a pivot
     below [1e-30 · max|a_ij|] raises {!Singular}), so badly-scaled but
@@ -80,13 +80,6 @@ val bandwidth_under : perm:int array -> (int * int) list -> int
     @raise Singular when pivoting finds no usable pivot.
     @raise Invalid_argument on shape mismatch. *)
 val solve : float array array -> float array -> float array
-
-(** [solve_copy a b] is [solve] on copies, leaving inputs untouched.
-    @deprecated Use {!Factor.factor} + {!Factor.solve_factored}, which
-    make the copy/factor cost explicit and reusable. Kept for one
-    release as a thin wrapper (same migration pattern as the PR 3→4
-    [Config] record removal). *)
-val solve_copy : float array array -> float array -> float array
 
 (** [matrix n] is a fresh n×n zero matrix. *)
 val matrix : int -> float array array

@@ -600,3 +600,217 @@ let cache_stats_to_json ~state (s : Util.Cache.stats) =
       "evictions", J.Int s.Util.Cache.evictions;
       "write_errors", J.Int s.Util.Cache.write_errors;
     ]
+
+(* --- the request/response wire format ------------------------------------ *)
+
+(* Version of the wire protocol, independent of the cache codec version:
+   a daemon and its clients negotiate on this stamp alone, while cache
+   entries keep their own lifecycle. *)
+let api_version = "dotest-api/1"
+
+let as_bool json =
+  match J.to_bool json with
+  | Some b -> Ok b
+  | None -> error_at "expected a boolean" json
+
+let bool_field name json = Result.bind (field name json) as_bool
+
+(* Absent and null both decode as [None]: clients may omit optional
+   fields entirely. *)
+let opt_str_field name json =
+  match J.member name json with
+  | None | Some J.Null -> Ok None
+  | Some v ->
+    let* s = as_str v in
+    Ok (Some s)
+
+let opt_int_of json =
+  match json with
+  | J.Null -> Ok None
+  | v ->
+    let* n = as_int v in
+    Ok (Some n)
+
+let limits_to_json (l : Util.Watchdog.limits) =
+  J.Obj
+    [
+      ( "wall_seconds",
+        match l.Util.Watchdog.wall_seconds with
+        | None -> J.Null
+        | Some s -> J.Float s );
+      ( "max_iterations",
+        match l.Util.Watchdog.max_iterations with
+        | None -> J.Null
+        | Some n -> J.Int n );
+    ]
+
+let limits_of_json json =
+  let* wall_seconds = opt_float_field "wall_seconds" json in
+  let* max_iterations =
+    Result.bind (field "max_iterations" json) opt_int_of
+  in
+  Ok { Util.Watchdog.wall_seconds; max_iterations }
+
+let solver_to_json, solver_of_json =
+  enum ~what:"solver backend" ~name_of:Circuit.Engine.solver_name
+    Circuit.Engine.all_solvers
+
+let format_to_json, format_of_json =
+  enum ~what:"format" ~name_of:Request.format_name Request.all_formats
+
+let error_code_to_json, error_code_of_json =
+  enum ~what:"error code" ~name_of:Request.error_code_name
+    Request.all_error_codes
+
+let opt_field name encode = function None -> [] | Some v -> [ name, encode v ]
+
+let request_to_json (r : Request.t) =
+  J.Obj
+    ([ "api", J.String api_version ]
+    @ opt_field "id" (fun s -> J.String s) r.Request.id
+    @ [
+        "target", J.String (Request.target_name r.Request.target);
+        ( "dft",
+          J.Bool
+            (match r.Request.target with
+            | Request.Comparator { dft } | Request.Global { dft } -> dft) );
+        "defects", J.Int r.Request.defects;
+        "good_space_dies", J.Int r.Request.good_space_dies;
+        "sigma", J.Float r.Request.sigma;
+        "seed", J.Int r.Request.seed;
+        "max_retries", J.Int r.Request.max_retries;
+        "strict", J.Bool r.Request.strict;
+        ( "inject_failures",
+          match r.Request.inject_failures with
+          | None -> J.Null
+          | Some f -> J.Float f );
+        ( "deadline",
+          match r.Request.deadline with
+          | None -> J.Null
+          | Some l -> limits_to_json l );
+        "solver", solver_to_json r.Request.solver;
+        "format", format_to_json r.Request.format;
+      ])
+
+(* Every field except "api" and "target" is optional and defaults to
+   {!Request.default}'s value, so a minimal request is
+   [{"api":"dotest-api/1","target":"global"}]. *)
+let request_of_json json =
+  let* api = str_field "api" json in
+  if api <> api_version then
+    Error (Printf.sprintf "unsupported api version %S (this is %s)" api api_version)
+  else
+    let opt name dec fallback =
+      match J.member name json with
+      | None | Some J.Null -> Ok fallback
+      | Some v -> dec v
+    in
+    let d = Request.default in
+    let* id = opt_str_field "id" json in
+    let* target_name = str_field "target" json in
+    let* dft = opt "dft" as_bool false in
+    let* target = Request.target_of_name ~name:target_name ~dft in
+    let* defects = opt "defects" as_int d.Request.defects in
+    let* good_space_dies =
+      opt "good_space_dies" as_int d.Request.good_space_dies
+    in
+    let* sigma = opt "sigma" as_float d.Request.sigma in
+    let* seed = opt "seed" as_int d.Request.seed in
+    let* max_retries = opt "max_retries" as_int d.Request.max_retries in
+    let* strict = opt "strict" as_bool d.Request.strict in
+    let* inject_failures =
+      opt "inject_failures" (fun v -> Result.map Option.some (as_float v)) None
+    in
+    let* deadline =
+      opt "deadline" (fun v -> Result.map Option.some (limits_of_json v)) None
+    in
+    let* solver = opt "solver" solver_of_json d.Request.solver in
+    let* format = opt "format" format_of_json d.Request.format in
+    if defects < 0 then Error "defects must be non-negative"
+    else if good_space_dies < 1 then Error "good_space_dies must be positive"
+    else
+      Ok
+        {
+          Request.id;
+          target;
+          defects;
+          good_space_dies;
+          sigma;
+          seed;
+          max_retries;
+          strict;
+          inject_failures;
+          deadline;
+          solver;
+          format;
+        }
+
+let table_entry_to_json (t : Request.table) =
+  J.Obj [ "title", J.String t.Request.title; "body", J.String t.Request.body ]
+
+let table_entry_of_json json =
+  let* title = str_field "title" json in
+  let* body = str_field "body" json in
+  Ok { Request.title; body }
+
+let response_to_json (r : Request.response) =
+  match r with
+  | Ok reply ->
+    J.Obj
+      ([ "api", J.String api_version; "status", J.String "ok" ]
+      @ opt_field "id" (fun s -> J.String s) reply.Request.reply_id
+      @ [
+          ( "tables",
+            J.List (List.map table_entry_to_json reply.Request.tables) );
+          "cache_hits", J.Int reply.Request.cache_hits;
+          "cache_misses", J.Int reply.Request.cache_misses;
+          "coalesced", J.Bool reply.Request.coalesced;
+          "queue_s", J.Float reply.Request.queue_seconds;
+          "evaluate_s", J.Float reply.Request.evaluate_seconds;
+        ])
+  | Error e ->
+    J.Obj
+      ([ "api", J.String api_version; "status", J.String "error" ]
+      @ opt_field "id" (fun s -> J.String s) e.Request.error_id
+      @ [
+          "code", error_code_to_json e.Request.code;
+          "message", J.String e.Request.message;
+          ( "retry_after",
+            match e.Request.retry_after with
+            | None -> J.Null
+            | Some s -> J.Float s );
+        ])
+
+let response_of_json json =
+  let* api = str_field "api" json in
+  if api <> api_version then
+    Error (Printf.sprintf "unsupported api version %S (this is %s)" api api_version)
+  else
+    let* status = str_field "status" json in
+    match status with
+    | "ok" ->
+      let* reply_id = opt_str_field "id" json in
+      let* tables = list_field "tables" table_entry_of_json json in
+      let* cache_hits = int_field "cache_hits" json in
+      let* cache_misses = int_field "cache_misses" json in
+      let* coalesced = bool_field "coalesced" json in
+      let* queue_seconds = float_field "queue_s" json in
+      let* evaluate_seconds = float_field "evaluate_s" json in
+      Ok
+        (Ok
+           {
+             Request.reply_id;
+             tables;
+             cache_hits;
+             cache_misses;
+             coalesced;
+             queue_seconds;
+             evaluate_seconds;
+           })
+    | "error" ->
+      let* error_id = opt_str_field "id" json in
+      let* code = Result.bind (field "code" json) error_code_of_json in
+      let* message = str_field "message" json in
+      let* retry_after = opt_float_field "retry_after" json in
+      Ok (Error { Request.error_id; code; message; retry_after })
+    | other -> Error (Printf.sprintf "unknown response status %S" other)

@@ -112,6 +112,39 @@ val netlist_fingerprint : Circuit.Netlist.t -> string
 
 val cell_fingerprint : Layout.Cell.t -> string
 
+(** {1 The request/response wire format}
+
+    The versioned JSON protocol spoken by [dotest serve] and its
+    clients (newline-delimited, one value per line). {!api_version}
+    stamps every request and response; it is independent of {!version}
+    — the wire protocol and the cache payloads have separate
+    lifecycles. Decoders are total like everything else here: malformed
+    wire bytes decode to [Error], which the service turns into a
+    structured [bad_request] response, never a crash.
+
+    A minimal request is [{"api":"dotest-api/1","target":"global"}] —
+    every other request field is optional and defaults to the matching
+    {!Request.default} value. *)
+
+(** The wire-protocol version: ["dotest-api/1"]. *)
+val api_version : string
+
+val request_to_json : Request.t -> Util.Json.t
+
+(** Rejects a missing or non-matching ["api"] stamp; validates field
+    shapes and basic ranges (non-negative defect count, positive die
+    count). [request_of_json (request_to_json r) = Ok r]. *)
+val request_of_json : Request.t decoder
+
+val response_to_json : Request.response -> Util.Json.t
+val response_of_json : Request.response decoder
+
+(** Deadline limits as carried inside requests
+    ([{"wall_seconds": float|null, "max_iterations": int|null}]). *)
+val limits_to_json : Util.Watchdog.limits -> Util.Json.t
+
+val limits_of_json : Util.Watchdog.limits decoder
+
 (** {1 Rendered-report surface} *)
 
 (** [table_to_json t] — array of row objects keyed by column title (the

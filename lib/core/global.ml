@@ -95,3 +95,7 @@ let current_detectability t =
       in
       a.macro.Macro.Macro_cell.name, share)
     t.weighted
+
+let compare_coverage ?(config = Pipeline.Config.default) () =
+  let run macros = combine (Pipeline.analyze_all config macros) in
+  run (Dft.Measures.original ()), run (Dft.Measures.improved ())

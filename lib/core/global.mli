@@ -38,3 +38,11 @@ val coverage_bounds : t -> Fault.Types.severity -> float * float
     faults detected by current measurements (the §3.3 per-macro claims:
     clock generator 93.8 %, ladder 99.8 %). *)
 val current_detectability : t -> (string * float) list
+
+(** Coverage comparison for the §3.4 DfT evaluation: run the pipeline on
+    both {!Dft.Measures} macro sets and return
+    ((fig4 original), (fig5 improved)). Lives here rather than in [dft]
+    because the dependency order runs macro sets → pipeline, not the
+    other way around. *)
+val compare_coverage :
+  ?config:Pipeline.Config.t -> unit -> t * t

@@ -1,0 +1,153 @@
+type target = Comparator of { dft : bool } | Global of { dft : bool }
+
+type format = [ `Text | `Json | `Csv ]
+
+type t = {
+  id : string option;
+  target : target;
+  defects : int;
+  good_space_dies : int;
+  sigma : float;
+  seed : int;
+  max_retries : int;
+  strict : bool;
+  inject_failures : float option;
+  deadline : Util.Watchdog.limits option;
+  solver : Circuit.Engine.solver;
+  format : format;
+}
+
+(* Kept literal (not read off [Pipeline.Config.default]) because [Codec]
+   encodes requests and [Pipeline] depends on [Codec] — reading them here
+   would close a dependency cycle. A core.request test pins every field
+   to the pipeline default, so the two cannot drift silently. *)
+let default =
+  {
+    id = None;
+    target = Global { dft = false };
+    defects = 25_000;
+    good_space_dies = 48;
+    sigma = 3.0;
+    seed = 1995;
+    max_retries = 1;
+    strict = false;
+    inject_failures = None;
+    deadline = None;
+    solver = Circuit.Engine.default_solver;
+    format = `Text;
+  }
+
+let with_id id r = { r with id }
+let with_target target r = { r with target }
+let with_defects defects r = { r with defects }
+let with_good_space_dies good_space_dies r = { r with good_space_dies }
+let with_sigma sigma r = { r with sigma }
+let with_seed seed r = { r with seed }
+let with_max_retries max_retries r = { r with max_retries }
+let with_strict strict r = { r with strict }
+let with_inject_failures inject_failures r = { r with inject_failures }
+let with_deadline deadline r = { r with deadline }
+let with_solver solver r = { r with solver }
+let with_format format r = { r with format }
+
+let target_name = function Comparator _ -> "comparator" | Global _ -> "global"
+
+let target_of_name ~name ~dft =
+  match name with
+  | "comparator" -> Ok (Comparator { dft })
+  | "global" -> Ok (Global { dft })
+  | other -> Error (Printf.sprintf "unknown target %S" other)
+
+let format_name = function `Text -> "text" | `Json -> "json" | `Csv -> "csv"
+let all_formats = [ `Text; `Json; `Csv ]
+
+(* Everything except [id], spelled with the same conventions as the
+   pipeline's cache key (%h for floats, explicit none markers) so a
+   fingerprint never aliases across field boundaries. *)
+let fingerprint r =
+  Util.Cache.fingerprint
+    [
+      "target=" ^ target_name r.target;
+      (match r.target with
+      | Comparator { dft } | Global { dft } -> Printf.sprintf "dft=%b" dft);
+      Printf.sprintf "defects=%d" r.defects;
+      Printf.sprintf "good_space_dies=%d" r.good_space_dies;
+      Printf.sprintf "sigma=%h" r.sigma;
+      Printf.sprintf "seed=%d" r.seed;
+      Printf.sprintf "max_retries=%d" r.max_retries;
+      Printf.sprintf "strict=%b" r.strict;
+      (match r.inject_failures with
+      | None -> "inject=none"
+      | Some fraction -> Printf.sprintf "inject=%h" fraction);
+      (match r.deadline with
+      | None -> "deadline=none"
+      | Some l ->
+        Printf.sprintf "deadline=wall:%s,iters:%s"
+          (match l.Util.Watchdog.wall_seconds with
+          | None -> "none"
+          | Some s -> Printf.sprintf "%h" s)
+          (match l.Util.Watchdog.max_iterations with
+          | None -> "none"
+          | Some n -> string_of_int n));
+      "solver=" ^ Circuit.Engine.solver_name r.solver;
+      "format=" ^ format_name r.format;
+    ]
+
+(* --- responses --------------------------------------------------------- *)
+
+type table = { title : string; body : string }
+
+type reply = {
+  reply_id : string option;
+  tables : table list;
+  cache_hits : int;
+  cache_misses : int;
+  coalesced : bool;
+  queue_seconds : float;
+  evaluate_seconds : float;
+}
+
+type error_code =
+  | Bad_request
+  | Unsupported_version
+  | Overloaded
+  | Shutting_down
+  | Budget_exhausted
+  | Simulation_failed
+  | Internal_error
+
+type error = {
+  error_id : string option;
+  code : error_code;
+  message : string;
+  retry_after : float option;
+}
+
+type response = (reply, error) result
+
+let all_error_codes =
+  [
+    Bad_request;
+    Unsupported_version;
+    Overloaded;
+    Shutting_down;
+    Budget_exhausted;
+    Simulation_failed;
+    Internal_error;
+  ]
+
+let error_code_name = function
+  | Bad_request -> "bad_request"
+  | Unsupported_version -> "unsupported_version"
+  | Overloaded -> "overloaded"
+  | Shutting_down -> "shutting_down"
+  | Budget_exhausted -> "budget_exhausted"
+  | Simulation_failed -> "simulation_failed"
+  | Internal_error -> "internal_error"
+
+let error_code_of_name name =
+  match
+    List.find_opt (fun c -> error_code_name c = name) all_error_codes
+  with
+  | Some c -> Ok c
+  | None -> Error (Printf.sprintf "unknown error code %S" name)

@@ -1,0 +1,440 @@
+(* One execution lane, many admission threads. The domain pool and the
+   telemetry span stacks are process resources seeded from the
+   orchestrating domain, so analyses are serialized on [exec]; system
+   threads only admit, coalesce, wait and do socket I/O. *)
+
+type outcome =
+  | Tables of {
+      tables : Request.table list;
+      cache_hits : int;
+      cache_misses : int;
+      evaluate_seconds : float;
+    }
+  | Failed of Request.error_code * string
+
+type flight = {
+  mutable done_ : bool;
+  mutable outcome : outcome option;
+  mutable attachers : int;
+}
+
+type stats = {
+  submitted : int;
+  completed : int;
+  failed : int;
+  shed : int;
+  coalesced : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+type t = {
+  cache_handle : Util.Cache.t option;
+  telemetry : Util.Telemetry.sink;
+  failure_budget : int option;
+  max_pending : int;
+  lock : Mutex.t;
+  changed : Condition.t;  (* flight completion, drain entry *)
+  flights : (string, flight) Hashtbl.t;  (* keyed by Request.fingerprint *)
+  exec : Mutex.t;  (* the single execution lane *)
+  mutable draining_ : bool;
+  mutable s : stats;
+}
+
+let create ?cache ?jobs ?(telemetry = Util.Telemetry.null) ?failure_budget
+    ?(max_pending = 16) () =
+  Option.iter Util.Pool.set_jobs jobs;
+  {
+    cache_handle = cache;
+    telemetry;
+    failure_budget;
+    max_pending = max 1 max_pending;
+    lock = Mutex.create ();
+    changed = Condition.create ();
+    flights = Hashtbl.create 16;
+    exec = Mutex.create ();
+    draining_ = false;
+    s =
+      {
+        submitted = 0;
+        completed = 0;
+        failed = 0;
+        shed = 0;
+        coalesced = 0;
+        cache_hits = 0;
+        cache_misses = 0;
+      };
+  }
+
+let cache t = t.cache_handle
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let stats t = locked t (fun () -> t.s)
+let draining t = locked t (fun () -> t.draining_)
+
+let initiate_shutdown t =
+  locked t (fun () ->
+      t.draining_ <- true;
+      Condition.broadcast t.changed)
+
+let drain t =
+  locked t (fun () ->
+      while Hashtbl.length t.flights > 0 do
+        Condition.wait t.changed t.lock
+      done)
+
+(* --- one analysis ------------------------------------------------------- *)
+
+let config_of t (r : Request.t) =
+  Pipeline.Config.(
+    default |> with_defects r.defects |> with_good_space_dies r.good_space_dies
+    |> with_sigma r.sigma |> with_seed r.seed |> with_max_retries r.max_retries
+    |> with_strict r.strict
+    |> with_failure_budget t.failure_budget
+    |> with_inject_failures r.inject_failures
+    |> with_cache_handle t.cache_handle
+    |> with_deadline r.deadline
+    |> with_checkpoint
+         (Option.map (fun _ -> Checkpoint.create ~resume:true ()) t.cache_handle)
+    |> with_solver r.solver)
+
+(* The deterministic artefacts of a request: same tables, same titles,
+   same order as the CLI prints for the equivalent invocation (the
+   serve-vs-CLI byte-identity contract). Execution-dependent output —
+   cache stats, run survival, metrics — is deliberately not a table;
+   its serve-side analogues are the reply counters and telemetry. *)
+let tables_of config (r : Request.t) =
+  let render title table =
+    { Request.title; body = Report.render ~format:r.format table }
+  in
+  match r.target with
+  | Request.Comparator { dft } ->
+    let options =
+      if dft then Adc.Comparator.dft_options else Adc.Comparator.default_options
+    in
+    let analysis = Pipeline.analyze config (Adc.Comparator.macro options) in
+    [
+      render "Table 1: catastrophic faults and fault classes"
+        (Report.table1 analysis);
+      render "Table 2: voltage fault signatures" (Report.table2 analysis);
+      render "Table 3: current fault signatures" (Report.table3 analysis);
+      render "Fig. 3: detectability of catastrophic faults"
+        (Report.figure3 analysis);
+      render "Run health" (Report.run_health (Pipeline.run_health [ analysis ]));
+    ]
+  | Request.Global { dft } ->
+    let measures = if dft then Dft.Measures.all_measures else [] in
+    let macros = Dft.Measures.macro_set ~measures in
+    let analyses = Pipeline.analyze_all config macros in
+    let g = Global.combine analyses in
+    [
+      render
+        (if dft then "Fig. 5: global detectability after DfT"
+         else "Fig. 4: global detectability")
+        (Report.figure4 g);
+      render "Per-macro current detectability" (Report.macro_current g);
+      render "Summary" (Report.summary g);
+      render "Run health" (Report.run_health (Pipeline.run_health analyses));
+      render "Coverage bounds" (Report.coverage_bounds g);
+    ]
+
+let rec root_cause = function
+  | Util.Pool.Worker_failure (_, e) -> root_cause e
+  | e -> e
+
+(* Runs on the execution lane; must never raise — the daemon's liveness
+   depends on every failure mode ending as a structured outcome. *)
+let execute t ~queue_seconds (r : Request.t) =
+  let cache_stats () =
+    match t.cache_handle with
+    | Some c -> Util.Cache.stats c
+    | None -> Util.Cache.no_stats
+  in
+  let before = cache_stats () in
+  let fail code cause = Failed (code, Printexc.to_string cause) in
+  let contained cause =
+    match root_cause cause with
+    | Util.Watchdog.Interrupted reason ->
+      Failed (Request.Shutting_down, "interrupted: " ^ reason)
+    | Util.Resilience.Budget_exhausted _ as e ->
+      fail Request.Budget_exhausted e
+    | Macro.Evaluate.Simulation_failed _ as e ->
+      fail Request.Simulation_failed e
+    | e -> fail Request.Internal_error e
+  in
+  Util.Telemetry.with_sink t.telemetry @@ fun () ->
+  Util.Telemetry.with_span "service.request"
+    ~attrs:
+      [
+        "target", Util.Telemetry.String (Request.target_name r.target);
+        "queue_seconds", Util.Telemetry.Float queue_seconds;
+      ]
+  @@ fun () ->
+  let started = Unix.gettimeofday () in
+  let result =
+    (* Config telemetry stays null: the service already installed its
+       sink as ambient for the span above, and [Pipeline] leaves the
+       ambient sink untouched when the config's own sink is null. *)
+    try Ok (tables_of (config_of t r) r) with e -> Error e
+  in
+  let evaluate_seconds = Unix.gettimeofday () -. started in
+  let after = cache_stats () in
+  let cache_hits = after.Util.Cache.hits - before.Util.Cache.hits in
+  let cache_misses = after.Util.Cache.misses - before.Util.Cache.misses in
+  Util.Telemetry.add_span_attrs
+    [
+      "evaluate_seconds", Util.Telemetry.Float evaluate_seconds;
+      "cache_hits", Util.Telemetry.Int cache_hits;
+      "cache_misses", Util.Telemetry.Int cache_misses;
+      "ok", Util.Telemetry.Bool (Result.is_ok result);
+    ];
+  match result with
+  | Ok tables -> Tables { tables; cache_hits; cache_misses; evaluate_seconds }
+  | Error cause -> contained cause
+
+(* --- admission, coalescing, shedding ------------------------------------ *)
+
+let error ?(retry_after = None) ~id code message : Request.response =
+  Error { Request.error_id = id; code; message; retry_after }
+
+let response_of_outcome ~id ~coalesced ~queue_seconds = function
+  | Tables { tables; cache_hits; cache_misses; evaluate_seconds } ->
+    Ok
+      {
+        Request.reply_id = id;
+        tables;
+        cache_hits;
+        cache_misses;
+        coalesced;
+        queue_seconds;
+        evaluate_seconds;
+      }
+  | Failed (code, message) -> error ~id code message
+
+let bump t f = locked t (fun () -> t.s <- f t.s)
+
+let submit t (r : Request.t) : Request.response =
+  let enqueued = Unix.gettimeofday () in
+  bump t (fun s -> { s with submitted = s.submitted + 1 });
+  Mutex.lock t.lock;
+  if t.draining_ then begin
+    t.s <- { t.s with failed = t.s.failed + 1 };
+    Mutex.unlock t.lock;
+    error ~id:r.id Request.Shutting_down
+      "service is draining; no new analyses are admitted"
+  end
+  else
+    let key = Request.fingerprint r in
+    match Hashtbl.find_opt t.flights key with
+    | Some flight ->
+      (* Identical work is already queued or running: attach and get the
+         same tables, computed once. *)
+      flight.attachers <- flight.attachers + 1;
+      while not flight.done_ do
+        Condition.wait t.changed t.lock
+      done;
+      t.s <- { t.s with coalesced = t.s.coalesced + 1 };
+      Mutex.unlock t.lock;
+      let queue_seconds = Unix.gettimeofday () -. enqueued in
+      response_of_outcome ~id:r.id ~coalesced:true ~queue_seconds
+        (Option.get flight.outcome)
+    | None ->
+      if Hashtbl.length t.flights >= t.max_pending then begin
+        t.s <- { t.s with shed = t.s.shed + 1 };
+        let retry_after = Some (0.5 *. float_of_int t.max_pending) in
+        Mutex.unlock t.lock;
+        error ~retry_after ~id:r.id Request.Overloaded
+          (Printf.sprintf "%d analyses already pending; try again later"
+             t.max_pending)
+      end
+      else begin
+        let flight = { done_ = false; outcome = None; attachers = 0 } in
+        Hashtbl.add t.flights key flight;
+        Mutex.unlock t.lock;
+        Mutex.lock t.exec;
+        let queue_seconds = Unix.gettimeofday () -. enqueued in
+        let outcome = execute t ~queue_seconds r in
+        Mutex.unlock t.exec;
+        locked t (fun () ->
+            flight.outcome <- Some outcome;
+            flight.done_ <- true;
+            Hashtbl.remove t.flights key;
+            (t.s <-
+               (match outcome with
+               | Tables { cache_hits; cache_misses; _ } ->
+                 {
+                   t.s with
+                   completed = t.s.completed + 1;
+                   cache_hits = t.s.cache_hits + cache_hits;
+                   cache_misses = t.s.cache_misses + cache_misses;
+                 }
+               | Failed _ -> { t.s with failed = t.s.failed + 1 }));
+            Condition.broadcast t.changed);
+        response_of_outcome ~id:r.id ~coalesced:false ~queue_seconds outcome
+      end
+
+(* --- the wire ----------------------------------------------------------- *)
+
+let handle_line t line =
+  let response =
+    match Util.Json.of_string line with
+    | Error msg ->
+      error ~id:None Request.Bad_request ("malformed JSON: " ^ msg)
+    | Ok json -> (
+      (* Echo the client's correlation id even when the rest of the
+         request does not decode. *)
+      let id = Option.bind (Util.Json.member "id" json) Util.Json.to_str in
+      match Codec.request_of_json json with
+      | Ok request -> submit t request
+      | Error msg ->
+        let code =
+          if
+            String.length msg >= 11
+            && String.sub msg 0 11 = "unsupported"
+          then Request.Unsupported_version
+          else Request.Bad_request
+        in
+        error ~id code msg)
+  in
+  Util.Json.to_string (Codec.response_to_json response)
+
+(* --- the socket server -------------------------------------------------- *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+let address_to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let address_of_string s =
+  let prefixed prefix =
+    let n = String.length prefix in
+    if String.length s > n && String.sub s 0 n = prefix then
+      Some (String.sub s n (String.length s - n))
+    else None
+  in
+  match prefixed "unix:" with
+  | Some path -> Ok (Unix_socket path)
+  | None -> (
+    match String.rindex_opt s ':' with
+    | None -> Ok (Unix_socket s)
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 ->
+        Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+      | _ ->
+        Error
+          (Printf.sprintf
+             "cannot parse %S as unix:PATH, a socket path, or HOST:PORT" s)))
+
+let connect = function
+  | Unix_socket path ->
+    let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect s (Unix.ADDR_UNIX path);
+    s
+  | Tcp (host, port) ->
+    let addr =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_loopback
+    in
+    let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect s (Unix.ADDR_INET (addr, port));
+    s
+
+let call address (r : Request.t) : Request.response =
+  let client_error message =
+    Error
+      { Request.error_id = r.id; code = Internal_error; message; retry_after = None }
+  in
+  match connect address with
+  | exception Unix.Unix_error (e, _, _) ->
+    client_error
+      (Printf.sprintf "cannot connect to %s: %s" (address_to_string address)
+         (Unix.error_message e))
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    output_string oc (Util.Json.to_string (Codec.request_to_json r));
+    output_char oc '\n';
+    flush oc;
+    match input_line ic with
+    | exception End_of_file ->
+      client_error "connection closed before a response arrived"
+    | line -> (
+      match
+        Result.bind (Util.Json.of_string line) Codec.response_of_json
+      with
+      | Ok response -> response
+      | Error msg -> client_error ("undecodable response: " ^ msg))
+
+let handle_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let rec loop () =
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         output_string oc (handle_line t line);
+         output_char oc '\n';
+         flush oc
+       end;
+       loop ()
+     in
+     loop ()
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  close_in_noerr ic
+
+let serve ?on_ready t address =
+  let sock, bound, cleanup =
+    match address with
+    | Unix_socket path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind s (Unix.ADDR_UNIX path);
+      ( s,
+        Unix_socket path,
+        fun () -> try Unix.unlink path with Unix.Unix_error _ -> () )
+    | Tcp (host, port) ->
+      let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt s Unix.SO_REUSEADDR true;
+      let addr =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_loopback
+      in
+      Unix.bind s (Unix.ADDR_INET (addr, port));
+      let bound =
+        match Unix.getsockname s with
+        | Unix.ADDR_INET (a, p) -> Tcp (Unix.string_of_inet_addr a, p)
+        | _ -> Tcp (host, port)
+      in
+      s, bound, fun () -> ()
+  in
+  Unix.listen sock 64;
+  Option.iter (fun f -> f bound) on_ready;
+  let stop () = draining t || Util.Watchdog.shutdown_requested () in
+  (* Poll-accept so a drain request is noticed within a quarter second
+     even with no connection traffic. *)
+  let rec accept_loop () =
+    if not (stop ()) then begin
+      (match Unix.select [ sock ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ ->
+        let fd, _ = Unix.accept sock in
+        ignore (Thread.create (handle_connection t) fd)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  cleanup ();
+  initiate_shutdown t;
+  drain t

@@ -28,12 +28,6 @@ let macro_set ~measures =
 let original () = macro_set ~measures:[]
 let improved () = macro_set ~measures:all_measures
 
-let compare_coverage ?(config = Core.Pipeline.Config.default) () =
-  let run macros =
-    Core.Global.combine (Core.Pipeline.analyze_all config macros)
-  in
-  run (original ()), run (improved ())
-
 let guidelines =
   [
     "Many faults disturb the boundary between analog and digital, raising \

@@ -14,7 +14,9 @@
       shorts that do occur are detectable.
 
     [measure_set] builds the macro list with a chosen subset of measures
-    applied, which the {!Core.Pipeline} re-runs to produce Fig. 5. *)
+    applied, which the core pipeline re-runs to produce Fig. 5 (see
+    [Core.Global.compare_coverage] — this library sits {e below} core in
+    the dependency order, so the comparison lives up there). *)
 
 type measure =
   | Leak_free_flipflop
@@ -32,11 +34,6 @@ val macro_set : measures:measure list -> Macro.Macro_cell.t list
 val original : unit -> Macro.Macro_cell.t list
 
 val improved : unit -> Macro.Macro_cell.t list
-
-(** Coverage comparison: run the pipeline on both macro sets and return
-    ((fig4 original), (fig5 improved)). *)
-val compare_coverage :
-  ?config:Core.Pipeline.Config.t -> unit -> Core.Global.t * Core.Global.t
 
 (** The general mixed-signal DfT guidelines the paper derives (§4). *)
 val guidelines : string list

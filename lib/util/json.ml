@@ -72,6 +72,14 @@ let to_string v =
 
 exception Parse_error of string
 
+(* The parser recurses once per nesting level, so adversarial input like
+   ten million '['s would otherwise turn into a stack overflow — which is
+   an unrecoverable crash, not an [Error]. Wire input (the serve daemon)
+   feeds untrusted bytes straight into this parser; 512 levels is far
+   beyond anything the library emits while keeping the recursion depth
+   trivially safe. *)
+let max_depth = 512
+
 let of_string text =
   let n = String.length text in
   let pos = ref 0 in
@@ -182,7 +190,8 @@ let of_string text =
         | Some v -> Float v
         | None -> fail "bad number %S" s)
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting deeper than %d levels" max_depth;
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -199,7 +208,7 @@ let of_string text =
           let key = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -221,7 +230,7 @@ let of_string text =
       end
       else begin
         let rec items acc =
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -241,7 +250,7 @@ let of_string text =
     | Some _ -> parse_number ()
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos < n then fail "trailing garbage";
     v

@@ -22,8 +22,19 @@ val to_string : t -> string
 
 (** [of_string text] parses one JSON value (surrounding whitespace is
     allowed; trailing non-whitespace is an error). Numbers without
-    [.], [e] or [E] become [Int]; everything else becomes [Float]. *)
+    [.], [e] or [E] become [Int]; everything else becomes [Float].
+
+    Total on adversarial input: any byte sequence yields [Ok] or
+    [Error], never an exception. In particular, trailing garbage after
+    the top-level value is an error, and nesting deeper than
+    {!max_depth} levels is an error rather than a parser stack
+    overflow — the serve daemon feeds untrusted wire bytes here. *)
 val of_string : string -> (t, string) result
+
+(** Maximum container-nesting depth {!of_string} accepts (512). Far
+    beyond anything this library emits; input deeper than this decodes
+    to [Error]. *)
+val max_depth : int
 
 (** [member key v] — the field [key] of object [v], if present. *)
 val member : string -> t -> t option

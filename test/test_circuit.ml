@@ -4,6 +4,11 @@ open Circuit
 
 let check_float tolerance = Alcotest.(check (float tolerance))
 
+(* From-scratch dense solve leaving the inputs untouched — what the
+   removed [Linear.solve_copy] wrapper used to spell; tests factor on
+   every call on purpose (the production paths reuse factorizations). *)
+let solve_fresh a b = Linear.Factor.solve_factored (Linear.Factor.factor a) b
+
 (* ------------------------------------------------------------------ *)
 (* Linear                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -11,7 +16,7 @@ let check_float tolerance = Alcotest.(check (float tolerance))
 let test_linear_known_2x2 () =
   let a = [| [| 2.; 1. |]; [| 1.; 3. |] |] in
   let b = [| 5.; 10. |] in
-  let x = Linear.solve_copy a b in
+  let x = solve_fresh a b in
   check_float 1e-9 "x0" 1.0 x.(0);
   check_float 1e-9 "x1" 3.0 x.(1)
 
@@ -19,7 +24,7 @@ let test_linear_needs_pivoting () =
   (* Zero on the initial pivot position forces a row swap. *)
   let a = [| [| 0.; 1. |]; [| 1.; 0. |] |] in
   let b = [| 2.; 3. |] in
-  let x = Linear.solve_copy a b in
+  let x = solve_fresh a b in
   check_float 1e-9 "x0" 3.0 x.(0);
   check_float 1e-9 "x1" 2.0 x.(1)
 
@@ -27,12 +32,12 @@ let test_linear_singular () =
   let a = [| [| 1.; 2. |]; [| 2.; 4. |] |] in
   let b = [| 1.; 2. |] in
   Alcotest.check_raises "singular" Linear.Singular (fun () ->
-      ignore (Linear.solve_copy a b))
+      ignore (solve_fresh a b))
 
 let test_linear_residual () =
   let a = [| [| 4.; 1.; 0. |]; [| 1.; 5.; 2. |]; [| 0.; 2.; 6. |] |] in
   let b = [| 1.; -2.; 3. |] in
-  let x = Linear.solve_copy a b in
+  let x = solve_fresh a b in
   Alcotest.(check bool) "residual small" true (Linear.residual a x b < 1e-9)
 
 let test_linear_scaled_singularity () =
@@ -41,18 +46,18 @@ let test_linear_scaled_singularity () =
      solve it rather than raise. *)
   let a = [| [| 1e-305; 0. |]; [| 0.; 2e-305 |] |] in
   let b = [| 1e-305; 4e-305 |] in
-  let x = Linear.solve_copy a b in
+  let x = solve_fresh a b in
   check_float 1e-9 "x0" 1.0 x.(0);
   check_float 1e-9 "x1" 2.0 x.(1);
   (* The all-zero matrix is still singular under the relative rule. *)
   Alcotest.check_raises "zero matrix" Linear.Singular (fun () ->
-      ignore (Linear.solve_copy (Linear.matrix 2) [| 0.; 0. |]))
+      ignore (solve_fresh (Linear.matrix 2) [| 0.; 0. |]))
 
 (* ------------------------------------------------------------------ *)
 (* Linear.Factor                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let test_factor_matches_solve_copy () =
+let test_factor_matches_fresh_solve () =
   let a = [| [| 4.; 1.; 0. |]; [| 1.; 5.; 2. |]; [| 0.; 2.; 6. |] |] in
   let f = Linear.Factor.factor a in
   Alcotest.(check int) "size" 3 (Linear.Factor.size f);
@@ -63,7 +68,7 @@ let test_factor_matches_solve_copy () =
   List.iter
     (fun b ->
       let x = Linear.Factor.solve_factored f b in
-      let y = Linear.solve_copy a b in
+      let y = solve_fresh a b in
       Array.iteri
         (fun i xi -> check_float 0.0 (Printf.sprintf "x%d" i) y.(i) xi)
         x)
@@ -84,7 +89,7 @@ let test_factor_rank1_agrees () =
     in
     let b = [| 1.; 2.; 3. |] in
     let x = Linear.Factor.solve_factored f' b in
-    let y = Linear.solve_copy a' b in
+    let y = solve_fresh a' b in
     Array.iteri
       (fun i xi -> check_float 1e-9 (Printf.sprintf "x%d" i) y.(i) xi)
       x
@@ -133,7 +138,7 @@ let test_factor_banded_permute () =
   Alcotest.(check bool) "banded kernel" true (Linear.Factor.is_banded f);
   let b = Array.init n (fun i -> float_of_int (i - 3)) in
   let x = Linear.Factor.solve_factored f b in
-  let y = Linear.solve_copy a b in
+  let y = solve_fresh a b in
   Array.iteri
     (fun i xi -> check_float 1e-12 (Printf.sprintf "x%d" i) y.(i) xi)
     x
@@ -815,7 +820,7 @@ let qcheck_props =
                 Array.init n (fun j -> a.(i).(j) +. (c *. u.(i) *. v.(j))))
           in
           let x = Linear.Factor.solve_factored f' b in
-          let y = Linear.solve_copy a' b in
+          let y = solve_fresh a' b in
           let ok = ref true in
           for i = 0 to n - 1 do
             if Float.abs (x.(i) -. y.(i)) > 1e-9 then ok := false
@@ -857,8 +862,8 @@ let suites =
         Alcotest.test_case "residual" `Quick test_linear_residual;
         Alcotest.test_case "scaled singularity" `Quick
           test_linear_scaled_singularity;
-        Alcotest.test_case "factor matches solve_copy" `Quick
-          test_factor_matches_solve_copy;
+        Alcotest.test_case "factor matches fresh solve" `Quick
+          test_factor_matches_fresh_solve;
         Alcotest.test_case "rank-1 agrees" `Quick test_factor_rank1_agrees;
         Alcotest.test_case "rank-1 fallback" `Quick test_factor_rank1_fallback;
         Alcotest.test_case "banded permute" `Quick test_factor_banded_permute;

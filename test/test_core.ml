@@ -786,7 +786,7 @@ let test_run_survival_renders () =
 
 let global_pair =
   lazy
-    (Dft.Measures.compare_coverage ~config:small_config ())
+    (Core.Global.compare_coverage ~config:small_config ())
 
 let test_global_weights_normalized () =
   let original, _ = Lazy.force global_pair in

@@ -1,0 +1,451 @@
+(* The PR-9 service layer: Request/Response wire codecs (round-trip +
+   adversarial decode), the Request/Pipeline default pinning, coalescing
+   and admission control, and the serve-vs-direct byte-identity contract
+   over a real Unix socket. *)
+
+open Core
+
+(* ------------------------------------------------------------------ *)
+(* Request.default must track Pipeline.Config.default                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [Request.default]'s numbers are literals (the Codec <-> Pipeline
+   dependency order forbids reading them off the config); this pin is
+   what keeps the two from drifting apart silently. *)
+let test_default_pins_config () =
+  let r = Request.default in
+  let c = Pipeline.Config.default in
+  Alcotest.(check int) "defects" c.Pipeline.Config.defects r.Request.defects;
+  Alcotest.(check int) "good_space_dies" c.Pipeline.Config.good_space_dies
+    r.Request.good_space_dies;
+  Alcotest.(check (float 0.0)) "sigma" c.Pipeline.Config.sigma r.Request.sigma;
+  Alcotest.(check int) "seed" c.Pipeline.Config.seed r.Request.seed;
+  Alcotest.(check int) "max_retries" c.Pipeline.Config.max_retries
+    r.Request.max_retries;
+  Alcotest.(check bool) "strict" c.Pipeline.Config.strict r.Request.strict;
+  Alcotest.(check bool) "inject_failures" true
+    (c.Pipeline.Config.inject_failures = r.Request.inject_failures);
+  Alcotest.(check bool) "deadline" true
+    (c.Pipeline.Config.deadline = r.Request.deadline);
+  Alcotest.(check string) "solver"
+    (Circuit.Engine.solver_name c.Pipeline.Config.solver)
+    (Circuit.Engine.solver_name r.Request.solver)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck round-trips for the wire codecs                              *)
+(* ------------------------------------------------------------------ *)
+
+let gen_request =
+  let open QCheck.Gen in
+  let limits =
+    map2
+      (fun wall_seconds max_iterations ->
+        { Util.Watchdog.wall_seconds; max_iterations })
+      (option (float_range 0.001 3600.0))
+      (option (int_range 1 1_000_000))
+  in
+  let target =
+    map2
+      (fun comparator dft ->
+        if comparator then Request.Comparator { dft }
+        else Request.Global { dft })
+      bool bool
+  in
+  let id = option (map (Printf.sprintf "req-%d") (int_range 0 100000)) in
+  map
+    (fun ( (id, target, defects, dies, sigma),
+           (seed, retries, strict, inject, deadline),
+           (solver, format) ) ->
+      {
+        Request.id;
+        target;
+        defects;
+        good_space_dies = dies;
+        sigma;
+        seed;
+        max_retries = retries;
+        strict;
+        inject_failures = inject;
+        deadline;
+        solver;
+        format;
+      })
+    (triple
+       (tup5 id target (int_range 0 1_000_000) (int_range 1 10_000)
+          (float_range 0.1 10.0))
+       (tup5 (int_range 0 1_000_000) (int_range 0 9) bool
+          (option (float_range 0.0 1.0))
+          (option limits))
+       (pair (oneofl Circuit.Engine.all_solvers) (oneofl Request.all_formats)))
+
+let arbitrary_request = QCheck.make gen_request
+
+let gen_reply =
+  let open QCheck.Gen in
+  let table =
+    map2
+      (fun title body -> { Request.title; body })
+      (oneofl [ "Summary"; "Run health"; "Fig. 4: global detectability" ])
+      (map (String.concat "\n") (small_list string_printable))
+  in
+  map
+    (fun ((id, tables, hits, misses), (coalesced, queue_s, evaluate_s)) ->
+      {
+        Request.reply_id = id;
+        tables;
+        cache_hits = hits;
+        cache_misses = misses;
+        coalesced;
+        queue_seconds = queue_s;
+        evaluate_seconds = evaluate_s;
+      })
+    (pair
+       (tup4
+          (option (map (Printf.sprintf "r%d") (int_range 0 10000)))
+          (list_size (int_range 0 5) table)
+          (int_range 0 100) (int_range 0 100))
+       (triple bool (float_range 0.0 100.0) (float_range 0.0 100.0)))
+
+let gen_response =
+  let open QCheck.Gen in
+  let error =
+    map
+      (fun (id, code, message, retry) ->
+        Error
+          {
+            Request.error_id = id;
+            code;
+            message;
+            retry_after =
+              (if code = Request.Overloaded then retry else None);
+          })
+      (tup4
+         (option (map (Printf.sprintf "e%d") (int_range 0 10000)))
+         (oneofl Request.all_error_codes)
+         string_printable
+         (option (float_range 0.0 60.0)))
+  in
+  oneof [ map Result.ok gen_reply; error ]
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"request json round-trip" ~count:300 arbitrary_request
+      (fun r ->
+        match Codec.request_of_json (Codec.request_to_json r) with
+        | Ok r' -> r' = r
+        | Error e -> Test.fail_reportf "decode failed: %s" e);
+    Test.make ~name:"request fingerprint ignores id" ~count:100
+      arbitrary_request (fun r ->
+        Request.fingerprint r
+        = Request.fingerprint (Request.with_id (Some "other") r));
+    Test.make ~name:"response json round-trip" ~count:300
+      (QCheck.make gen_response) (fun resp ->
+        match Codec.response_of_json (Codec.response_to_json resp) with
+        | Ok resp' -> resp' = resp
+        | Error e -> Test.fail_reportf "decode failed: %s" e);
+    (* Decoder totality under truncation: every strict prefix of a valid
+       request line must yield a structured error, never an exception. *)
+    Test.make ~name:"truncated request decodes to Error" ~count:60
+      arbitrary_request (fun r ->
+        let line = Util.Json.to_string (Codec.request_to_json r) in
+        let n = String.length line in
+        let step = max 1 (n / 37) in
+        let rec check i =
+          if i >= n then true
+          else
+            match
+              Result.bind
+                (Util.Json.of_string (String.sub line 0 i))
+                Codec.request_of_json
+            with
+            | Ok _ -> Test.fail_reportf "prefix %d of %d decoded as Ok" i n
+            | Error _ -> check (i + step)
+        in
+        check 1);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* handle_line: hostile input becomes structured error responses       *)
+(* ------------------------------------------------------------------ *)
+
+let decode_response line =
+  match Result.bind (Util.Json.of_string line) Codec.response_of_json with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("response line does not decode: " ^ e)
+
+let error_code = function
+  | Ok _ -> Alcotest.fail "expected an error response"
+  | Error e -> e.Request.code
+
+let test_handle_line_errors () =
+  let service = Service.create ~max_pending:2 () in
+  let code line = error_code (decode_response (Service.handle_line service line)) in
+  Alcotest.(check string) "garbage" "bad_request"
+    (Request.error_code_name (code "not json at all"));
+  Alcotest.(check string) "trailing garbage" "bad_request"
+    (Request.error_code_name (code "{} {}"));
+  Alcotest.(check string) "wrong api" "unsupported_version"
+    (Request.error_code_name
+       (code "{\"api\":\"dotest-api/999\",\"target\":\"global\"}"));
+  Alcotest.(check string) "missing api" "bad_request"
+    (Request.error_code_name (code "{\"target\":\"global\"}"));
+  Alcotest.(check string) "unknown target" "bad_request"
+    (Request.error_code_name
+       (code "{\"api\":\"dotest-api/1\",\"target\":\"adder\"}"));
+  Alcotest.(check string) "negative defects" "bad_request"
+    (Request.error_code_name
+       (code "{\"api\":\"dotest-api/1\",\"target\":\"global\",\"defects\":-1}"));
+  (* The json bomb from the depth-limit satellite, arriving as a wire
+     line: still just a bad_request. *)
+  Alcotest.(check string) "nesting bomb" "bad_request"
+    (Request.error_code_name (code (String.make 50_000 '[')));
+  (* The id is echoed even when the body is malformed. *)
+  match
+    decode_response
+      (Service.handle_line service
+         "{\"api\":\"dotest-api/1\",\"target\":\"nope\",\"id\":\"corr-7\"}")
+  with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e ->
+    Alcotest.(check (option string)) "id echoed" (Some "corr-7")
+      e.Request.error_id
+
+(* ------------------------------------------------------------------ *)
+(* The service end to end                                              *)
+(* ------------------------------------------------------------------ *)
+
+let temp_dir prefix =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o755;
+  dir
+
+let small_request =
+  Request.(
+    default
+    |> with_target (Comparator { dft = false })
+    |> with_defects 400 |> with_good_space_dies 6)
+
+(* What the CLI's [comparator] command prints for these parameters, in
+   print order — the reference for the byte-identity contract. *)
+let expected_tables (r : Request.t) =
+  let config =
+    Pipeline.Config.(
+      default |> with_defects r.Request.defects
+      |> with_good_space_dies r.Request.good_space_dies
+      |> with_sigma r.Request.sigma |> with_seed r.Request.seed
+      |> with_solver r.Request.solver)
+  in
+  let analysis =
+    Pipeline.analyze config (Adc.Comparator.macro Adc.Comparator.default_options)
+  in
+  let render title table =
+    { Request.title; body = Report.render ~format:r.Request.format table }
+  in
+  [
+    render "Table 1: catastrophic faults and fault classes"
+      (Report.table1 analysis);
+    render "Table 2: voltage fault signatures" (Report.table2 analysis);
+    render "Table 3: current fault signatures" (Report.table3 analysis);
+    render "Fig. 3: detectability of catastrophic faults"
+      (Report.figure3 analysis);
+    render "Run health" (Report.run_health (Pipeline.run_health [ analysis ]));
+  ]
+
+let check_tables what expected (reply : Request.reply) =
+  Alcotest.(check int)
+    (what ^ ": table count")
+    (List.length expected)
+    (List.length reply.Request.tables);
+  List.iter2
+    (fun (e : Request.table) (got : Request.table) ->
+      Alcotest.(check string) (what ^ ": title") e.Request.title got.Request.title;
+      Alcotest.(check string)
+        (what ^ ": " ^ e.Request.title)
+        e.Request.body got.Request.body)
+    expected reply.Request.tables
+
+let test_serve_concurrent_clients () =
+  let dir = temp_dir "dotest-serve-test" in
+  let cache =
+    Util.Cache.create
+      ~dir:(Filename.concat dir "cache")
+      ~version:Codec.version ()
+  in
+  let service = Service.create ~cache ~max_pending:32 () in
+  let address = Service.Unix_socket (Filename.concat dir "test.sock") in
+  let listening = ref false in
+  let lock = Mutex.create () and cond = Condition.create () in
+  let server =
+    Thread.create
+      (fun () ->
+        Service.serve
+          ~on_ready:(fun _ ->
+            Mutex.lock lock;
+            listening := true;
+            Condition.broadcast cond;
+            Mutex.unlock lock)
+          service address)
+      ()
+  in
+  Mutex.lock lock;
+  while not !listening do
+    Condition.wait cond lock
+  done;
+  Mutex.unlock lock;
+  let expected = expected_tables small_request in
+  let expected_alt =
+    expected_tables (Request.with_seed 1996 small_request)
+  in
+  (* 8 concurrent clients over the real socket: evens ask for the same
+     analysis (one flight, coalesced), odds share a second key. *)
+  let results = Array.make 8 None in
+  let clients =
+    List.init 8 (fun i ->
+        Thread.create
+          (fun () ->
+            let r =
+              if i mod 2 = 0 then small_request
+              else Request.with_seed 1996 small_request
+            in
+            let r = Request.with_id (Some (Printf.sprintf "client-%d" i)) r in
+            results.(i) <- Some (Service.call address r))
+          ())
+  in
+  List.iter Thread.join clients;
+  Array.iteri
+    (fun i result ->
+      match result with
+      | None -> Alcotest.fail "client thread did not record a result"
+      | Some (Error e) ->
+        Alcotest.failf "client %d failed: %s" i e.Request.message
+      | Some (Ok reply) ->
+        Alcotest.(check (option string))
+          "id echoed"
+          (Some (Printf.sprintf "client-%d" i))
+          reply.Request.reply_id;
+        check_tables
+          (Printf.sprintf "client %d" i)
+          (if i mod 2 = 0 then expected else expected_alt)
+          reply)
+    results;
+  let s = Service.stats service in
+  Alcotest.(check int) "submitted" 8 s.Service.submitted;
+  Alcotest.(check bool) "duplicates coalesced" true (s.Service.coalesced >= 1);
+  Alcotest.(check int) "nothing shed" 0 s.Service.shed;
+  Alcotest.(check int) "no failures" 0 s.Service.failed;
+  (* Warm repeat over the same socket: pure cache hits, same bytes. *)
+  (match Service.call address small_request with
+  | Error e -> Alcotest.fail e.Request.message
+  | Ok reply ->
+    check_tables "warm" expected reply;
+    Alcotest.(check bool) "warm run hits the cache" true
+      (reply.Request.cache_hits >= 1));
+  (* Graceful drain: serve returns, the server thread joins, and new
+     submissions are refused with shutting_down. *)
+  Service.initiate_shutdown service;
+  Thread.join server;
+  Alcotest.(check string) "draining refuses" "shutting_down"
+    (Request.error_code_name (error_code (Service.submit service small_request)))
+
+let test_submit_coalesces_and_sheds () =
+  (* max_pending=1: while one cold flight runs, an identical request
+     attaches to it, and a different one is shed with retry_after. *)
+  let service = Service.create ~max_pending:1 () in
+  let slow =
+    Request.(
+      small_request |> with_defects 2_000 |> with_good_space_dies 8
+      |> with_seed 77)
+  in
+  let leader = ref None and twin = ref None in
+  let t_leader =
+    Thread.create (fun () -> leader := Some (Service.submit service slow)) ()
+  in
+  (* Admit the leader before racing the twin and the shed probe. *)
+  let rec wait_admitted n =
+    if n = 0 then Alcotest.fail "leader never admitted";
+    if (Service.stats service).Service.submitted < 1 then begin
+      Thread.delay 0.01;
+      wait_admitted (n - 1)
+    end
+  in
+  wait_admitted 500;
+  Thread.delay 0.05;
+  let t_twin =
+    Thread.create (fun () -> twin := Some (Service.submit service slow)) ()
+  in
+  Thread.delay 0.05;
+  let probe = Service.submit service (Request.with_seed 78 slow) in
+  (match probe with
+  | Ok _ -> Alcotest.fail "distinct request should have been shed"
+  | Error e ->
+    Alcotest.(check string) "shed code" "overloaded"
+      (Request.error_code_name e.Request.code);
+    Alcotest.(check bool) "retry hint" true (e.Request.retry_after <> None));
+  Thread.join t_leader;
+  Thread.join t_twin;
+  match !leader, !twin with
+  | Some (Ok lead), Some (Ok tw) ->
+    Alcotest.(check bool) "leader not coalesced" false lead.Request.coalesced;
+    Alcotest.(check bool) "twin coalesced" true tw.Request.coalesced;
+    List.iter2
+      (fun (a : Request.table) (b : Request.table) ->
+        Alcotest.(check string) "same bytes" a.Request.body b.Request.body)
+      lead.Request.tables tw.Request.tables;
+    let s = Service.stats service in
+    Alcotest.(check int) "one shed" 1 s.Service.shed;
+    Alcotest.(check int) "one coalesced" 1 s.Service.coalesced;
+    Alcotest.(check int) "one completed" 1 s.Service.completed
+  | _ -> Alcotest.fail "leader or twin did not complete"
+
+let test_handle_line_matches_submit () =
+  (* The wire entry point returns the same reply as a direct submit,
+     modulo the execution-dependent counters. *)
+  let service = Service.create () in
+  let direct =
+    match Service.submit service small_request with
+    | Ok reply -> reply
+    | Error e -> Alcotest.fail e.Request.message
+  in
+  let line =
+    Service.handle_line service
+      (Util.Json.to_string (Codec.request_to_json small_request))
+  in
+  match decode_response line with
+  | Error e -> Alcotest.fail e.Request.message
+  | Ok wire -> check_tables "wire" direct.Request.tables wire
+
+let test_address_parsing () =
+  let round s = Result.map Service.address_to_string (Service.address_of_string s) in
+  Alcotest.(check bool) "unix prefix" true
+    (round "unix:/tmp/x.sock" = Ok "unix:/tmp/x.sock");
+  Alcotest.(check bool) "bare path" true
+    (round "/tmp/x.sock" = Ok "unix:/tmp/x.sock");
+  Alcotest.(check bool) "host:port" true
+    (round "127.0.0.1:7777" = Ok "127.0.0.1:7777");
+  Alcotest.(check bool) "empty host defaults" true
+    (round ":7777" = Ok "127.0.0.1:7777");
+  Alcotest.(check bool) "bad port is an error" true
+    (Result.is_error (Service.address_of_string "host:notaport"))
+
+let suites =
+  [
+    ( "serve.codec",
+      Alcotest.test_case "defaults pin the pipeline config" `Quick
+        test_default_pins_config
+      :: Alcotest.test_case "hostile wire lines" `Quick test_handle_line_errors
+      :: Alcotest.test_case "address parsing" `Quick test_address_parsing
+      :: List.map QCheck_alcotest.to_alcotest qcheck_props );
+    ( "serve.service",
+      [
+        Alcotest.test_case "8 concurrent clients, byte-identical" `Slow
+          test_serve_concurrent_clients;
+        Alcotest.test_case "coalesce + shed under max_pending=1" `Slow
+          test_submit_coalesces_and_sheds;
+        Alcotest.test_case "wire equals direct submit" `Slow
+          test_handle_line_matches_submit;
+      ] );
+  ]

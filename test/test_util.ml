@@ -350,6 +350,22 @@ let test_json_parse_errors () =
   Alcotest.(check bool) "bare word" true (bad "nope");
   Alcotest.(check bool) "unclosed object" true (bad "{\"a\":1")
 
+(* Adversarial nesting must come back as [Error], not blow the OCaml
+   stack: the parser refuses anything deeper than [Json.max_depth]. *)
+let test_json_depth_limit () =
+  let nested n = String.make n '[' ^ "1" ^ String.make n ']' in
+  (match Json.of_string (nested Json.max_depth) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("max_depth should still parse: " ^ e));
+  (match Json.of_string (nested (Json.max_depth + 1)) with
+  | Ok _ -> Alcotest.fail "too-deep array must be rejected"
+  | Error e -> Alcotest.(check bool) "has a message" true (String.length e > 0));
+  (* A 100k-deep bomb would overflow an unguarded recursive descent;
+     here it is a cheap structured error. *)
+  match Json.of_string (String.make 100_000 '{') with
+  | Ok _ -> Alcotest.fail "object bomb must be rejected"
+  | Error _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -1085,6 +1101,7 @@ let suites =
           test_json_print_parse_roundtrip;
         Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
         Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        Alcotest.test_case "depth limit" `Quick test_json_depth_limit;
       ] );
     ( "util.cache",
       [
