@@ -499,21 +499,45 @@ let serve_cmd =
     (* First signal: drain — finish queued and running analyses, refuse
        new ones, exit 0. Second signal: escalate to the cooperative
        watchdog, which aborts in-flight pipeline work (checkpoints still
-       flush on the way out). *)
+       flush on the way out). The handlers only record: they run at
+       safepoints on whatever thread is executing, so taking the
+       service mutex here could self-deadlock. [poll], called from the
+       accept loop and throughout the drain, applies the state
+       changes. *)
+    let signal_count = Atomic.make 0 in
+    let last_signal = Atomic.make Sys.sigterm in
     let graceful signal =
-      if Core.Service.draining service then
-        Util.Watchdog.request_shutdown
-          ~reason:(if signal = Sys.sigint then "second SIGINT" else "second SIGTERM")
-          ()
-      else Core.Service.initiate_shutdown service
+      Atomic.set last_signal signal;
+      Atomic.incr signal_count
     in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful);
     Sys.set_signal Sys.sigint (Sys.Signal_handle graceful);
+    let handled = ref 0 in
+    let poll () =
+      let n = Atomic.get signal_count in
+      if n > !handled then begin
+        handled := n;
+        if n = 1 then Core.Service.initiate_shutdown service
+        else
+          Util.Watchdog.request_shutdown
+            ~reason:
+              (if Atomic.get last_signal = Sys.sigint then "second SIGINT"
+               else "second SIGTERM")
+            ()
+      end
+    in
     let on_ready bound =
       Format.eprintf "dotest: serving on %s@."
         (Core.Service.address_to_string bound)
     in
-    Core.Service.serve ~on_ready service address;
+    (try Core.Service.serve ~on_ready ~poll service address with
+    | Failure msg ->
+      Format.eprintf "dotest: %s@." msg;
+      exit 2
+    | Unix.Unix_error (e, _, _) ->
+      Format.eprintf "dotest: cannot serve on %s: %s@." listen
+        (Unix.error_message e);
+      exit 2);
     let s = Core.Service.stats service in
     Format.eprintf
       "dotest: drained; %d submitted, %d completed, %d failed, %d shed, %d \

@@ -254,26 +254,45 @@ let submit t (r : Request.t) : Request.response =
         let flight = { done_ = false; outcome = None; attachers = 0 } in
         Hashtbl.add t.flights key flight;
         Mutex.unlock t.lock;
-        Mutex.lock t.exec;
-        let queue_seconds = Unix.gettimeofday () -. enqueued in
-        let outcome = execute t ~queue_seconds r in
-        Mutex.unlock t.exec;
-        locked t (fun () ->
-            flight.outcome <- Some outcome;
-            flight.done_ <- true;
-            Hashtbl.remove t.flights key;
-            (t.s <-
-               (match outcome with
-               | Tables { cache_hits; cache_misses; _ } ->
-                 {
-                   t.s with
-                   completed = t.s.completed + 1;
-                   cache_hits = t.s.cache_hits + cache_hits;
-                   cache_misses = t.s.cache_misses + cache_misses;
-                 }
-               | Failed _ -> { t.s with failed = t.s.failed + 1 }));
-            Condition.broadcast t.changed);
-        response_of_outcome ~id:r.id ~coalesced:false ~queue_seconds outcome
+        (* [execute]'s never-raises contract is defence in depth, not a
+           liveness assumption: the catch-all below plus the two
+           [Fun.protect]s guarantee that whatever escapes, the exec lane
+           unlocks and the flight completes — otherwise one escaped
+           exception would wedge every later submit, all coalesced
+           attachers, and drain, forever. *)
+        let queue_seconds = ref (Unix.gettimeofday () -. enqueued) in
+        let outcome =
+          ref (Failed (Request.Internal_error, "analysis aborted before completion"))
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            locked t (fun () ->
+                flight.outcome <- Some !outcome;
+                flight.done_ <- true;
+                Hashtbl.remove t.flights key;
+                (t.s <-
+                   (match !outcome with
+                   | Tables { cache_hits; cache_misses; _ } ->
+                     {
+                       t.s with
+                       completed = t.s.completed + 1;
+                       cache_hits = t.s.cache_hits + cache_hits;
+                       cache_misses = t.s.cache_misses + cache_misses;
+                     }
+                   | Failed _ -> { t.s with failed = t.s.failed + 1 }));
+                Condition.broadcast t.changed))
+          (fun () ->
+            Mutex.lock t.exec;
+            Fun.protect ~finally:(fun () -> Mutex.unlock t.exec) @@ fun () ->
+            queue_seconds := Unix.gettimeofday () -. enqueued;
+            outcome :=
+              (try execute t ~queue_seconds:!queue_seconds r
+               with e ->
+                 Failed
+                   ( Request.Internal_error,
+                     "uncontained exception: " ^ Printexc.to_string e )));
+        response_of_outcome ~id:r.id ~coalesced:false
+          ~queue_seconds:!queue_seconds !outcome
       end
 
 (* --- the wire ----------------------------------------------------------- *)
@@ -318,6 +337,10 @@ let address_of_string s =
   in
   match prefixed "unix:" with
   | Some path -> Ok (Unix_socket path)
+  | None when String.contains s '/' ->
+    (* Anything with a '/' is a socket path (the .mli contract), even if
+       it also contains a ':' — never parsed as HOST:PORT. *)
+    Ok (Unix_socket s)
   | None -> (
     match String.rindex_opt s ':' with
     | None -> Ok (Unix_socket s)
@@ -332,16 +355,21 @@ let address_of_string s =
           (Printf.sprintf
              "cannot parse %S as unix:PATH, a socket path, or HOST:PORT" s)))
 
+(* Strict: a typo'd host must error, not silently become loopback. *)
+let resolve_host host =
+  match (Unix.gethostbyname host).Unix.h_addr_list with
+  | [||] -> failwith (Printf.sprintf "host %S resolves to no addresses" host)
+  | addrs -> addrs.(0)
+  | exception Not_found ->
+    failwith (Printf.sprintf "cannot resolve host %S" host)
+
 let connect = function
   | Unix_socket path ->
     let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.connect s (Unix.ADDR_UNIX path);
     s
   | Tcp (host, port) ->
-    let addr =
-      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-      with Not_found -> Unix.inet_addr_loopback
-    in
+    let addr = resolve_host host in
     let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.connect s (Unix.ADDR_INET (addr, port));
     s
@@ -356,6 +384,7 @@ let call address (r : Request.t) : Request.response =
     client_error
       (Printf.sprintf "cannot connect to %s: %s" (address_to_string address)
          (Unix.error_message e))
+  | exception Failure msg -> client_error msg
   | fd ->
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
@@ -392,7 +421,12 @@ let handle_connection t fd =
    with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
   close_in_noerr ic
 
-let serve ?on_ready t address =
+let serve ?on_ready ?(poll = fun () -> ()) t address =
+  (* A client that disconnects before its response line is written must
+     surface as EPIPE (caught in handle_connection), not as SIGPIPE's
+     default disposition, which would kill the whole daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let sock, bound, cleanup =
     match address with
     | Unix_socket path ->
@@ -403,12 +437,9 @@ let serve ?on_ready t address =
         Unix_socket path,
         fun () -> try Unix.unlink path with Unix.Unix_error _ -> () )
     | Tcp (host, port) ->
+      let addr = resolve_host host in
       let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.setsockopt s Unix.SO_REUSEADDR true;
-      let addr =
-        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-        with Not_found -> Unix.inet_addr_loopback
-      in
       Unix.bind s (Unix.ADDR_INET (addr, port));
       let bound =
         match Unix.getsockname s with
@@ -419,16 +450,28 @@ let serve ?on_ready t address =
   in
   Unix.listen sock 64;
   Option.iter (fun f -> f bound) on_ready;
-  let stop () = draining t || Util.Watchdog.shutdown_requested () in
+  let stop () =
+    poll ();
+    draining t || Util.Watchdog.shutdown_requested ()
+  in
+  (* A transient accept failure (ECONNABORTED; EMFILE under
+     thread-per-connection; EINTR) must not kill the loop — log, back
+     off briefly so fd exhaustion cannot spin it hot, keep accepting. *)
+  let accept_once () =
+    match Unix.accept sock with
+    | fd, _ -> ignore (Thread.create (handle_connection t) fd)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "dotest serve: accept: %s\n%!" (Unix.error_message e);
+      Thread.delay 0.05
+  in
   (* Poll-accept so a drain request is noticed within a quarter second
      even with no connection traffic. *)
   let rec accept_loop () =
     if not (stop ()) then begin
       (match Unix.select [ sock ] [] [] 0.25 with
       | [], _, _ -> ()
-      | _ ->
-        let fd, _ = Unix.accept sock in
-        ignore (Thread.create (handle_connection t) fd)
+      | _ -> accept_once ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       accept_loop ()
     end
@@ -437,4 +480,13 @@ let serve ?on_ready t address =
   (try Unix.close sock with Unix.Unix_error _ -> ());
   cleanup ();
   initiate_shutdown t;
-  drain t
+  (* Drain while still polling: a second signal arriving mid-drain must
+     be able to escalate to the watchdog from this thread. *)
+  let rec drain_loop () =
+    poll ();
+    if locked t (fun () -> Hashtbl.length t.flights > 0) then begin
+      Thread.delay 0.1;
+      drain_loop ()
+    end
+  in
+  drain_loop ()

@@ -114,8 +114,22 @@ val address_to_string : address -> string
     {!Util.Watchdog.request_shutdown}) and the subsequent drain
     complete; an existing Unix-socket path is replaced, and the socket
     file is removed on return. [on_ready] fires once the socket is
-    listening — tests use it to connect without racing the bind. *)
-val serve : ?on_ready:(address -> unit) -> t -> address -> unit
+    listening — tests use it to connect without racing the bind.
+
+    [poll] is called from the accept loop (at least every quarter
+    second) and throughout the drain. Signal handlers must not touch
+    the service directly — OCaml handlers run at safepoints on whatever
+    thread is executing, possibly one already holding a service lock —
+    so the CLI's handlers only record atomically and its [poll]
+    performs {!initiate_shutdown} / watchdog escalation from here.
+
+    SIGPIPE is set to ignore for the process, so a client that
+    disconnects mid-response surfaces as a handler-local [EPIPE]
+    instead of killing the daemon; transient [accept] failures
+    (ECONNABORTED, EMFILE, EINTR) are logged and the loop keeps
+    accepting. Raises [Failure] if a TCP host does not resolve. *)
+val serve :
+  ?on_ready:(address -> unit) -> ?poll:(unit -> unit) -> t -> address -> unit
 
 (** [call address request] — the one-shot client: connect, send the
     request as one line, read one response line, decode. Connection

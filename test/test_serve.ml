@@ -428,6 +428,8 @@ let test_address_parsing () =
     (round "127.0.0.1:7777" = Ok "127.0.0.1:7777");
   Alcotest.(check bool) "empty host defaults" true
     (round ":7777" = Ok "127.0.0.1:7777");
+  Alcotest.(check bool) "path with colon stays a path" true
+    (round "/tmp/x:1" = Ok "unix:/tmp/x:1");
   Alcotest.(check bool) "bad port is an error" true
     (Result.is_error (Service.address_of_string "host:notaport"))
 
