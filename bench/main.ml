@@ -8,9 +8,16 @@
      --timings       include bechamel micro-benchmarks + parallel scaling
      --no-ablations  skip the ablation sweeps
      --jobs N        worker domains (default: cores-1, min 1; DOTEST_JOBS)
-     --json          emit per-stage timings of the comparator pipeline as
-                     one JSON object on stdout and exit (machine-readable
+     --json          emit per-stage timings of one macro pipeline as one
+                     JSON object on stdout and exit (machine-readable
                      perf trajectory; nothing else is printed)
+     --macro M       macro for --json: comparator (default) or scaled
+     --bits N        size of the scaled macro: 2^N ladder taps (default 8)
+     --scaling       emit the PR-10 scaling study as one JSON object:
+                     per-N raw-solve table (dense vs rank1 vs auto vs
+                     auto+shared) plus pipeline evaluate-stage A/Bs on
+                     the n=37 comparator (quick) and the large-N scaled
+                     ADC; nothing else is printed
      --serve-stress  stand up an in-process dotest service on a Unix
                      socket, hammer it with concurrent clients mixing
                      warm and cold request keys, and emit one JSON object
@@ -29,6 +36,7 @@ let serve_stress = Array.exists (( = ) "--serve-stress") Sys.argv
 let timings = Array.exists (( = ) "--timings") Sys.argv
 let no_ablations = Array.exists (( = ) "--no-ablations") Sys.argv
 let json_mode = Array.exists (( = ) "--json") Sys.argv
+let scaling_mode = Array.exists (( = ) "--scaling") Sys.argv
 
 let jobs =
   let rec scan i =
@@ -77,6 +85,28 @@ let solver =
       match Circuit.Engine.solver_of_string Sys.argv.(i + 1) with
       | Some s -> s
       | None -> failwith "--solver expects dense, rank1 or auto"
+    else scan (i + 1)
+  in
+  scan 1
+
+let bench_bits =
+  match flag_value "--bits" int_of_string_opt with
+  | Some b when b >= 2 && b <= 14 -> b
+  | Some _ -> failwith "--bits expects an integer in 2..14"
+  (* --scaling targets the regime where per-iteration factorization
+     dominates per-class fixed costs; below ~1000 unknowns the dense
+     backend hides behind warm-started two-iteration Newton runs. Full
+     mode goes one size further out, where the n³ term is unambiguous. *)
+  | None -> if scaling_mode then (if quick then 10 else 11) else 8
+
+let bench_macro =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then `Comparator
+    else if Sys.argv.(i) = "--macro" then
+      match Sys.argv.(i + 1) with
+      | "comparator" -> `Comparator
+      | "scaled" -> `Scaled
+      | _ -> failwith "--macro expects comparator or scaled"
     else scan (i + 1)
   in
   scan 1
@@ -522,9 +552,18 @@ let parallel_scaling () =
    adds the "solver" object — the selected backend plus the engine's
    factorization-reuse counters (factorizations, rank1_solves,
    jacobian_bypass, rank1_fallbacks), pulled from the same deterministic
-   counter totals as "metrics". *)
+   counter totals as "metrics"; schema 8 adds macro selection (--macro
+   comparator|scaled with "bits" for the generated ADC), the
+   shared-nominal counters in "solver", and the "throughput" object
+   (classes_per_s / solves_per_s are wall-clock-derived and vary run to
+   run; newton_iterations_per_class is deterministic). *)
+let bench_macro_cell () =
+  match bench_macro with
+  | `Comparator -> Adc.Comparator.macro Adc.Comparator.default_options
+  | `Scaled -> Adc.Scaled.macro ~bits:bench_bits ()
+
 let json_run () =
-  let macro = Adc.Comparator.macro Adc.Comparator.default_options in
+  let macro = bench_macro_cell () in
   ignore (Lazy.force macro.Macro.Macro_cell.cell);
   let memory = Util.Telemetry.in_memory () in
   let traced_config =
@@ -556,11 +595,21 @@ let json_run () =
         ~state:(Core.Report.cache_state s :> [ `Cold | `Warm | `Off ])
         s
   in
+  let evaluate_s = stage "evaluate-cat" +. stage "evaluate-ncat" in
+  let classes = counter "classes_simulated" in
+  let rate count elapsed =
+    if elapsed > 0.0 then Util.Json.Float (float_of_int count /. elapsed)
+    else Util.Json.Null
+  in
   let json =
     Util.Json.Obj
       [
-        "schema", Util.Json.String "dotest-bench/6";
-        "macro", Util.Json.String "comparator";
+        "schema", Util.Json.String "dotest-bench/8";
+        "macro", Util.Json.String macro.Macro.Macro_cell.name;
+        ( "bits",
+          match bench_macro with
+          | `Comparator -> Util.Json.Null
+          | `Scaled -> Util.Json.Int bench_bits );
         "mode", Util.Json.String (if quick then "quick" else "full");
         "jobs", Util.Json.Int jobs;
         "seed", Util.Json.Int config.Core.Pipeline.Config.seed;
@@ -607,6 +656,24 @@ let json_run () =
               "rank1_solves", Util.Json.Int (counter "engine.rank1_solves");
               "jacobian_bypass", Util.Json.Int (counter "engine.jacobian_bypass");
               "rank1_fallbacks", Util.Json.Int (counter "engine.rank1_fallbacks");
+              ( "shared_nominal_hits",
+                Util.Json.Int (counter "engine.shared_nominal_hits") );
+              ( "shared_nominal_misses",
+                Util.Json.Int (counter "engine.shared_nominal_misses") );
+              ( "shared_nominal_fallbacks",
+                Util.Json.Int (counter "engine.shared_nominal_fallbacks") );
+            ] );
+        ( "throughput",
+          Util.Json.Obj
+            [
+              "classes_per_s", rate classes evaluate_s;
+              "solves_per_s", rate (counter "engine.solves") evaluate_s;
+              ( "newton_iterations_per_class",
+                if classes = 0 then Util.Json.Null
+                else
+                  Util.Json.Float
+                    (float_of_int (counter "newton_iterations")
+                    /. float_of_int classes) );
             ] );
         ( "survival",
           Util.Json.Obj
@@ -625,6 +692,178 @@ let json_run () =
                 Util.Json.Int (counter "watchdog.deadline_exceeded") );
             ] );
         "metrics", Core.Codec.metrics_to_json m;
+      ]
+  in
+  print_endline (Util.Json.to_string json)
+
+(* ------------------------------------------------------------------ *)
+(* PR-10 scaling study (--scaling)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Raw-solve sweep: for each size, solve a batch of near-miss-bridge
+   variants of the generated ADC cold under every backend, then once
+   more under auto with a shared-nominal context installed (one skeleton
+   derivation amortized over the whole batch + warm starts). This is the
+   per-class solve pattern of the evaluate stage, isolated from
+   sprinkling and classification, so the dense-vs-banded-vs-shared
+   crossover is directly visible per N. *)
+let scaling_variants = 12
+
+let scaling_netlists bits =
+  let nominal =
+    Adc.Scaled.bench_netlist ~bits
+      (Process.Variation.nominal Process.Tech.cmos1um)
+  in
+  let t = Adc.Scaled.taps bits in
+  let variants =
+    List.init scaling_variants (fun k ->
+        let i = 1 + (k * (t - 3) / scaling_variants) in
+        let nl = Circuit.Netlist.copy nominal in
+        Circuit.Netlist.add_resistor nl
+          ~name:(Printf.sprintf "FLT_Rbridge%d" k)
+          (Circuit.Netlist.node nl (Printf.sprintf "tap%d" i))
+          (Circuit.Netlist.node nl (Printf.sprintf "tap%d" (i + 1)))
+          500.0;
+        nl)
+  in
+  nominal, variants
+
+let timed_batch ?shared solver variants =
+  let run () =
+    Circuit.Engine.with_solver solver @@ fun () ->
+    let solve_all () =
+      List.fold_left
+        (fun acc nl ->
+          let _, diag = Circuit.Engine.dc_operating_point_diag nl in
+          acc + diag.Circuit.Engine.iterations)
+        0 variants
+    in
+    match shared with
+    | None -> solve_all ()
+    | Some sn -> Circuit.Engine.with_shared_nominal sn solve_all
+  in
+  let iterations, elapsed = seconds run in
+  Util.Json.Obj
+    [
+      "s_per_solve",
+      Util.Json.Float (elapsed /. float_of_int (List.length variants));
+      "newton_iterations", Util.Json.Int iterations;
+    ]
+
+(* Dense refactors every Newton iteration: past this size one sweep row
+   alone would take minutes, so dense is measured only up to here and
+   reported null above it (noted in the row, not silently dropped). *)
+let dense_max_n = 1200
+
+let scaling_row bits =
+  let nominal, variants = scaling_netlists bits in
+  let n = Circuit.Netlist.node_count nominal + 2 in
+  let sn = Circuit.Engine.shared_nominal ~strip:Fault.Inject.is_fault_device () in
+  let dense =
+    if n <= dense_max_n then timed_batch Circuit.Engine.Dense variants
+    else Util.Json.Null
+  in
+  let rank1 = timed_batch Circuit.Engine.Rank1 variants in
+  let auto = timed_batch Circuit.Engine.Auto variants in
+  let auto_shared = timed_batch ~shared:sn Circuit.Engine.Auto variants in
+  Format.eprintf "scaling: bits=%d n=%d done@." bits n;
+  Util.Json.Obj
+    [
+      "bits", Util.Json.Int bits;
+      "n_unknowns", Util.Json.Int n;
+      "dense", dense;
+      "dense_skipped", Util.Json.Bool (n > dense_max_n);
+      "rank1", rank1;
+      "auto", auto;
+      "auto_shared", auto_shared;
+    ]
+
+(* One pipeline run (no cache) under [solver]; returns the evaluate-stage
+   wall-clock plus the deterministic counters behind the throughput
+   numbers. *)
+let pipeline_measure config macro solver =
+  let memory = Util.Telemetry.in_memory () in
+  let cfg =
+    Core.Pipeline.Config.(
+      config |> with_solver solver |> with_cache_handle None
+      |> with_telemetry (Util.Telemetry.memory_sink memory))
+  in
+  let analysis = Core.Pipeline.analyze cfg macro in
+  let stage name =
+    try List.assoc name analysis.Core.Pipeline.health.Core.Pipeline.stage_seconds
+    with Not_found -> 0.0
+  in
+  let m = Util.Telemetry.metrics memory in
+  let counter name =
+    try List.assoc name m.Util.Telemetry.Metrics.counters with Not_found -> 0
+  in
+  let evaluate_s = stage "evaluate-cat" +. stage "evaluate-ncat" in
+  ( evaluate_s,
+    Util.Json.Obj
+      [
+        "evaluate_s", Util.Json.Float evaluate_s;
+        "total_classes",
+        Util.Json.Int analysis.Core.Pipeline.health.Core.Pipeline.classes;
+        "solves", Util.Json.Int (counter "engine.solves");
+        "newton_iterations", Util.Json.Int (counter "newton_iterations");
+        ( "shared_nominal_hits",
+          Util.Json.Int (counter "engine.shared_nominal_hits") );
+      ] )
+
+let pipeline_ab config macro =
+  ignore (Lazy.force macro.Macro.Macro_cell.cell);
+  let dense_s, dense = pipeline_measure config macro Circuit.Engine.Dense in
+  let auto_s, auto = pipeline_measure config macro Circuit.Engine.Auto in
+  Util.Json.Obj
+    [
+      "macro", Util.Json.String macro.Macro.Macro_cell.name;
+      "defects", Util.Json.Int config.Core.Pipeline.Config.defects;
+      "dense", dense;
+      "auto", auto;
+      ( "evaluate_speedup_auto_vs_dense",
+        if auto_s > 0.0 then Util.Json.Float (dense_s /. auto_s)
+        else Util.Json.Null );
+    ]
+
+let scaling_run () =
+  let bits_list = if quick then [ 5; 7; 9 ] else [ 5; 7; 9; 10; 11 ] in
+  let rows = List.map scaling_row bits_list in
+  let comparator_config =
+    Core.Pipeline.Config.(
+      config |> with_defects 5_000 |> with_good_space_dies 16)
+  in
+  let comparator_ab =
+    pipeline_ab comparator_config
+      (Adc.Comparator.macro Adc.Comparator.default_options)
+  in
+  Format.eprintf "scaling: comparator A/B done@.";
+  let scaled_config =
+    Core.Pipeline.Config.(
+      config |> with_defects 4_000 |> with_good_space_dies 8)
+  in
+  let scaled_ab =
+    pipeline_ab scaled_config (Adc.Scaled.macro ~bits:bench_bits ())
+  in
+  Format.eprintf "scaling: scaled A/B done@.";
+  let json =
+    Util.Json.Obj
+      [
+        "schema", Util.Json.String "dotest-bench/8";
+        "mode", Util.Json.String "scaling";
+        "jobs", Util.Json.Int jobs;
+        "quick", Util.Json.Bool quick;
+        ( "raw_solves",
+          Util.Json.Obj
+            [
+              "variants_per_row", Util.Json.Int scaling_variants;
+              "rows", Util.Json.List rows;
+            ] );
+        ( "pipelines",
+          Util.Json.Obj
+            [
+              "comparator_quick", comparator_ab;
+              "scaled", scaled_ab;
+            ] );
       ]
   in
   print_endline (Util.Json.to_string json)
@@ -772,6 +1011,7 @@ let serve_stress_run () =
 
 let () =
   if serve_stress then serve_stress_run ()
+  else if scaling_mode then scaling_run ()
   else if json_mode then json_run ()
   else begin
     Format.printf

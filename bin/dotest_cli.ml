@@ -11,14 +11,15 @@ let setup_logging verbose =
 
 let config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict ~failure_budget
     ~inject_failures ~telemetry ~cache ?(deadline = None) ?(checkpoint = None)
-    ~solver () =
+    ?(sprinkle_chunk = Defect.Simulate.default_chunk_size) ~solver () =
   Core.Pipeline.Config.(
     default |> with_defects defects |> with_good_space_dies dies
     |> with_sigma sigma |> with_seed seed |> with_max_retries max_retries
     |> with_strict strict |> with_failure_budget failure_budget
     |> with_inject_failures inject_failures |> with_telemetry telemetry
     |> with_cache_handle cache |> with_deadline deadline
-    |> with_checkpoint checkpoint |> with_solver solver)
+    |> with_checkpoint checkpoint |> with_sprinkle_chunk sprinkle_chunk
+    |> with_solver solver)
 
 let defaults = Core.Pipeline.Config.default
 
@@ -65,6 +66,19 @@ let dft =
   Arg.(
     value & flag
     & info [ "dft" ] ~doc:"Apply both DfT measures before the analysis.")
+
+let sprinkle_chunk =
+  Arg.(
+    value
+    & opt int Defect.Simulate.default_chunk_size
+    & info [ "sprinkle-chunk" ] ~docv:"N"
+        ~doc:
+          "Defect draws per parallel sprinkling chunk. Each chunk owns a \
+           split PRNG stream, so results are deterministic for any \
+           $(b,--jobs) value at a fixed $(docv) — but a different $(docv) \
+           assigns different streams and is a different (equally valid) \
+           defect sample. The chunk size therefore participates in the \
+           result-cache key.")
 
 let solver_arg =
   let backends =
@@ -265,12 +279,19 @@ let print_cache_stats ~format cache =
         (Core.Report.cache_stats (Util.Cache.stats c)))
     cache
 
-let print_metrics ~format memory =
+let print_metrics ?elapsed ~format memory =
   Option.iter
     (fun m ->
       print_table ~format "Telemetry metrics"
-        (Core.Report.metrics (Util.Telemetry.metrics m)))
+        (Core.Report.metrics ?elapsed (Util.Telemetry.metrics m)))
     memory
+
+(* Wall-clock duration of the analysis proper, for the derived "(wall)"
+   throughput rows of the metrics table. *)
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  result, Unix.gettimeofday () -. t0
 
 (* Pool failures arrive wrapped (possibly twice: macro fan-out around the
    per-class fan-out); report the innermost cause, which carries the
@@ -314,41 +335,53 @@ let print_health ~format analyses =
 
 (* --- commands ----------------------------------------------------------- *)
 
+(* Shared driver for the single-macro commands (comparator, scaled): run
+   one macro through the pipeline and print the per-macro tables. *)
+let run_single_macro ~verbose ~jobs ~defects ~dies ~sigma ~seed ~strict
+    ~max_retries ~failure_budget ~inject_failures ~trace ~metrics ~cache_dir
+    ~no_cache ~deadline ~deadline_iterations ~resume ~no_checkpoint
+    ~sprinkle_chunk ~solver ~format macro =
+  setup_logging verbose;
+  Util.Pool.set_jobs jobs;
+  Util.Watchdog.install_signal_handlers ();
+  with_telemetry ~trace ~metrics @@ fun sink memory ->
+  let cache = cache_handle ~cache_dir ~no_cache in
+  let checkpoint = checkpoint_of ~cache ~resume ~no_checkpoint in
+  let config =
+    config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict ~failure_budget
+      ~inject_failures ~telemetry:sink ~cache
+      ~deadline:(deadline_of ~deadline ~deadline_iterations)
+      ~checkpoint ~sprinkle_chunk ~solver ()
+  in
+  let analysis, elapsed =
+    timed (fun () ->
+        handle_failures (fun () -> Core.Pipeline.analyze config macro))
+  in
+  print_table ~format "Table 1: catastrophic faults and fault classes"
+    (Core.Report.table1 analysis);
+  print_table ~format "Table 2: voltage fault signatures"
+    (Core.Report.table2 analysis);
+  print_table ~format "Table 3: current fault signatures"
+    (Core.Report.table3 analysis);
+  print_table ~format "Fig. 3: detectability of catastrophic faults"
+    (Core.Report.figure3 analysis);
+  print_health ~format [ analysis ];
+  print_cache_stats ~format cache;
+  print_table ~format "Run survival" (Core.Report.run_survival config);
+  print_metrics ~elapsed ~format memory
+
 let comparator_cmd =
   let run verbose jobs defects dies sigma seed dft strict max_retries
       failure_budget inject_failures trace metrics cache_dir no_cache deadline
-      deadline_iterations resume no_checkpoint solver format =
-    setup_logging verbose;
-    Util.Pool.set_jobs jobs;
-    Util.Watchdog.install_signal_handlers ();
-    with_telemetry ~trace ~metrics @@ fun sink memory ->
-    let cache = cache_handle ~cache_dir ~no_cache in
-    let checkpoint = checkpoint_of ~cache ~resume ~no_checkpoint in
-    let config =
-      config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict
-        ~failure_budget ~inject_failures ~telemetry:sink ~cache
-        ~deadline:(deadline_of ~deadline ~deadline_iterations)
-        ~checkpoint ~solver ()
-    in
+      deadline_iterations resume no_checkpoint sprinkle_chunk solver format =
     let options =
       if dft then Adc.Comparator.dft_options else Adc.Comparator.default_options
     in
-    let analysis =
-      handle_failures (fun () ->
-          Core.Pipeline.analyze config (Adc.Comparator.macro options))
-    in
-    print_table ~format "Table 1: catastrophic faults and fault classes"
-      (Core.Report.table1 analysis);
-    print_table ~format "Table 2: voltage fault signatures"
-      (Core.Report.table2 analysis);
-    print_table ~format "Table 3: current fault signatures"
-      (Core.Report.table3 analysis);
-    print_table ~format "Fig. 3: detectability of catastrophic faults"
-      (Core.Report.figure3 analysis);
-    print_health ~format [ analysis ];
-    print_cache_stats ~format cache;
-    print_table ~format "Run survival" (Core.Report.run_survival config);
-    print_metrics ~format memory
+    run_single_macro ~verbose ~jobs ~defects ~dies ~sigma ~seed ~strict
+      ~max_retries ~failure_budget ~inject_failures ~trace ~metrics ~cache_dir
+      ~no_cache ~deadline ~deadline_iterations ~resume ~no_checkpoint
+      ~sprinkle_chunk ~solver ~format
+      (Adc.Comparator.macro options)
   in
   Cmd.v
     (Cmd.info "comparator"
@@ -357,12 +390,47 @@ let comparator_cmd =
       const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ dft $ strict
       $ max_retries $ failure_budget $ inject_failures $ trace $ metrics_flag
       $ cache_dir $ no_cache $ deadline_arg $ deadline_iterations $ resume
-      $ no_checkpoint $ solver_arg $ format_arg)
+      $ no_checkpoint $ sprinkle_chunk $ solver_arg $ format_arg)
+
+let scaled_cmd =
+  let run verbose jobs bits defects dies sigma seed strict max_retries
+      failure_budget inject_failures trace metrics cache_dir no_cache deadline
+      deadline_iterations resume no_checkpoint sprinkle_chunk solver format =
+    run_single_macro ~verbose ~jobs ~defects ~dies ~sigma ~seed ~strict
+      ~max_retries ~failure_budget ~inject_failures ~trace ~metrics ~cache_dir
+      ~no_cache ~deadline ~deadline_iterations ~resume ~no_checkpoint
+      ~sprinkle_chunk ~solver ~format
+      (Adc.Scaled.macro ~bits ())
+  in
+  let bits =
+    Arg.(
+      value & opt int 7
+      & info [ "bits" ] ~docv:"B"
+          ~doc:
+            "Converter resolution: the analog core has $(b,2^B) ladder \
+             segments, about $(b,2^B + 3) circuit unknowns (2..14). Sizes \
+             past ~10 bits are where the dense reference backend's n³ \
+             factorization cost separates from $(b,--solver auto).")
+  in
+  Cmd.v
+    (Cmd.info "scaled"
+       ~doc:
+         "Run the defect-oriented test path for the generated scalable-N \
+          flash-ADC analog core: a 2^bits reference ladder with one readout \
+          transistor per tap. The workload for solver scaling studies — \
+          same pipeline, same determinism contract, adjustable circuit \
+          size.")
+    Term.(
+      const run $ verbose $ jobs $ bits $ defects $ dies $ sigma $ seed
+      $ strict $ max_retries $ failure_budget $ inject_failures $ trace
+      $ metrics_flag $ cache_dir $ no_cache $ deadline_arg
+      $ deadline_iterations $ resume $ no_checkpoint $ sprinkle_chunk
+      $ solver_arg $ format_arg)
 
 let global_cmd =
   let run verbose jobs defects dies sigma seed dft strict max_retries
       failure_budget inject_failures trace metrics cache_dir no_cache deadline
-      deadline_iterations resume no_checkpoint solver format =
+      deadline_iterations resume no_checkpoint sprinkle_chunk solver format =
     setup_logging verbose;
     Util.Pool.set_jobs jobs;
     Util.Watchdog.install_signal_handlers ();
@@ -373,12 +441,13 @@ let global_cmd =
       config_of ~defects ~dies ~sigma ~seed ~max_retries ~strict
         ~failure_budget ~inject_failures ~telemetry:sink ~cache
         ~deadline:(deadline_of ~deadline ~deadline_iterations)
-        ~checkpoint ~solver ()
+        ~checkpoint ~sprinkle_chunk ~solver ()
     in
     let measures = if dft then Dft.Measures.all_measures else [] in
     let macros = Dft.Measures.macro_set ~measures in
-    let analyses =
-      handle_failures (fun () -> Core.Pipeline.analyze_all config macros)
+    let analyses, elapsed =
+      timed (fun () ->
+          handle_failures (fun () -> Core.Pipeline.analyze_all config macros))
     in
     let g = Core.Global.combine analyses in
     print_table ~format
@@ -392,7 +461,7 @@ let global_cmd =
     print_table ~format "Coverage bounds" (Core.Report.coverage_bounds g);
     print_cache_stats ~format cache;
     print_table ~format "Run survival" (Core.Report.run_survival config);
-    print_metrics ~format memory
+    print_metrics ~elapsed ~format memory
   in
   Cmd.v
     (Cmd.info "global"
@@ -401,7 +470,7 @@ let global_cmd =
       const run $ verbose $ jobs $ defects $ dies $ sigma $ seed $ dft $ strict
       $ max_retries $ failure_budget $ inject_failures $ trace $ metrics_flag
       $ cache_dir $ no_cache $ deadline_arg $ deadline_iterations $ resume
-      $ no_checkpoint $ solver_arg $ format_arg)
+      $ no_checkpoint $ sprinkle_chunk $ solver_arg $ format_arg)
 
 let dft_cmd =
   let run verbose jobs defects dies sigma seed trace metrics cache_dir no_cache
@@ -652,6 +721,7 @@ let () =
        (Cmd.group info
           [
             comparator_cmd;
+            scaled_cmd;
             global_cmd;
             dft_cmd;
             serve_cmd;

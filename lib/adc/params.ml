@@ -1,9 +1,17 @@
 let bits = 8
-let levels = 1 lsl bits
+let levels_of_bits bits =
+  if bits < 1 || bits > 16 then invalid_arg "Adc.Params.levels_of_bits";
+  1 lsl bits
+
+let levels = levels_of_bits bits
 let vdd = 5.0
 let vref_low = 1.0
 let vref_high = 3.0
-let lsb = (vref_high -. vref_low) /. float_of_int levels
+
+let lsb_of_bits bits =
+  (vref_high -. vref_low) /. float_of_int (levels_of_bits bits)
+
+let lsb = lsb_of_bits bits
 let offset_limit = 0.008
 let phase = 200e-9
 let period = 3.0 *. phase

@@ -1,7 +1,13 @@
 (** Shared electrical parameters of the case-study 8-bit flash ADC. *)
 
-(** Number of output bits (256 comparators / reference levels). *)
+(** Number of output bits of the case-study converter (256 comparators /
+    reference levels). *)
 val bits : int
+
+(** [levels_of_bits b] = [2^b] — reference levels of a [b]-bit flash
+    converter. The scalable-N generators ({!Scaled}) compose off this.
+    @raise Invalid_argument outside [1..16]. *)
+val levels_of_bits : int -> int
 
 val levels : int
 
@@ -12,6 +18,10 @@ val vdd : float
 val vref_low : float
 
 val vref_high : float
+
+(** [lsb_of_bits b] — one least-significant bit of a [b]-bit converter in
+    volts: (vref_high - vref_low)/2^b. *)
+val lsb_of_bits : int -> float
 
 (** One least-significant bit in volts: (vref_high - vref_low)/levels. *)
 val lsb : float

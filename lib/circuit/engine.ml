@@ -304,6 +304,28 @@ type rstate = {
   rcur_gm : float array;
   rcur_gds : float array;
   rrhs : float array;
+  (* Compiled stamp plan: the per-iteration work — MOSFET model
+     evaluation and right-hand-side assembly — compiled once into flat
+     arrays so the Newton loop is tight passes over unboxed floats
+     instead of a [cdevice] list traversal with per-device dispatch and
+     allocation. Node entries are 1-based (0 = ground), matching [idx]. *)
+  pm_d : int array;            (* per-MOSFET drain/gate/source nodes *)
+  pm_g : int array;
+  pm_s : int array;
+  pm_sign : float array;       (* +1.0 NMOS, -1.0 PMOS *)
+  pm_vth : float array;
+  pm_beta : float array;       (* kp·w/l, packed at compile time *)
+  pm_lambda : float array;
+  pm_vgs : float array;        (* scratch: bias at the current guess *)
+  pm_vds : float array;
+  pv_branch : int array;       (* vsource branch rows *)
+  pv_wave : Waveform.t array;
+  pi_pos : int array;          (* isource terminals *)
+  pi_neg : int array;
+  pi_wave : Waveform.t array;
+  pc_n1 : int array;           (* capacitor terminals and values *)
+  pc_n2 : int array;
+  pc_c : float array;
 }
 
 type backend = Dense_backend | Reuse_backend of rstate
@@ -347,6 +369,24 @@ let make_rstate ?permute compiled =
     |> Array.of_list
   in
   let nm = Array.length rmos in
+  (* Pack the stamp plan. Within each device class the packing preserves
+     netlist order, so the plan is a pure function of the compiled
+     netlist and every backend decision stays deterministic. *)
+  let vsources =
+    List.filter_map
+      (function CVsource { branch; wave; _ } -> Some (branch, wave) | _ -> None)
+      compiled.cdevices
+  in
+  let isources =
+    List.filter_map
+      (function CIsource { pos; neg; wave } -> Some (pos, neg, wave) | _ -> None)
+      compiled.cdevices
+  in
+  let caps =
+    List.filter_map
+      (function CCapacitor (n1, n2, c) -> Some (n1, n2, c) | _ -> None)
+      compiled.cdevices
+  in
   {
     rn = n;
     rcompiled = compiled;
@@ -364,6 +404,35 @@ let make_rstate ?permute compiled =
     rcur_gm = Array.make nm 0.0;
     rcur_gds = Array.make nm 0.0;
     rrhs = Array.make n 0.0;
+    pm_d = Array.map (fun m -> m.md) rmos;
+    pm_g = Array.map (fun m -> m.mg) rmos;
+    pm_s = Array.map (fun m -> m.ms) rmos;
+    pm_sign =
+      Array.map
+        (fun m ->
+          match m.mspec.Netlist.polarity with
+          | Mos_model.Nmos -> 1.0
+          | Mos_model.Pmos -> -1.0)
+        rmos;
+    pm_vth = Array.map (fun m -> m.mspec.Netlist.params.Mos_model.vth) rmos;
+    pm_beta =
+      Array.map
+        (fun m ->
+          m.mspec.Netlist.params.Mos_model.kp *. m.mspec.Netlist.w
+          /. m.mspec.Netlist.l)
+        rmos;
+    pm_lambda =
+      Array.map (fun m -> m.mspec.Netlist.params.Mos_model.lambda) rmos;
+    pm_vgs = Array.make nm 0.0;
+    pm_vds = Array.make nm 0.0;
+    pv_branch = Array.of_list (List.map (fun (b, _) -> b) vsources);
+    pv_wave = Array.of_list (List.map snd vsources);
+    pi_pos = Array.of_list (List.map (fun (p, _, _) -> p) isources);
+    pi_neg = Array.of_list (List.map (fun (_, n2, _) -> n2) isources);
+    pi_wave = Array.of_list (List.map (fun (_, _, w) -> w) isources);
+    pc_n1 = Array.of_list (List.map (fun (n1, _, _) -> n1) caps);
+    pc_n2 = Array.of_list (List.map (fun (_, n2, _) -> n2) caps);
+    pc_c = Array.of_list (List.map (fun (_, _, c) -> c) caps);
   }
 
 let make_backend compiled =
@@ -402,20 +471,27 @@ let rebuild_const state ~gmin ~h =
   state.rconst_ok <- true;
   state.rfactor <- None
 
+(* Batched model evaluation through the stamp plan: one pass fills the
+   bias scratch, one [Mos_model.evaluate_packed] call produces all
+   linearizations. Bit-identical to per-device [Mos_model.evaluate]
+   (see that function's contract), with no per-iteration allocation. *)
 let eval_mosfets state x =
-  Array.iteri
-    (fun k m ->
-      let vgs = v_of x m.mg -. v_of x m.ms in
-      let vds = v_of x m.md -. v_of x m.ms in
-      let op =
-        Mos_model.evaluate ~polarity:m.mspec.Netlist.polarity
-          ~params:m.mspec.Netlist.params ~w:m.mspec.Netlist.w
-          ~l:m.mspec.Netlist.l ~vgs ~vds
-      in
-      state.rcur_id.(k) <- op.Mos_model.id;
-      state.rcur_gm.(k) <- op.Mos_model.gm;
-      state.rcur_gds.(k) <- op.Mos_model.gds)
-    state.rmos
+  let nm = Array.length state.rmos in
+  let pm_d = state.pm_d and pm_g = state.pm_g and pm_s = state.pm_s in
+  let vgs = state.pm_vgs and vds = state.pm_vds in
+  for k = 0 to nm - 1 do
+    let d = Array.unsafe_get pm_d k in
+    let g = Array.unsafe_get pm_g k in
+    let s = Array.unsafe_get pm_s k in
+    let vs = if s = 0 then 0.0 else Array.unsafe_get x (s - 1) in
+    let vg = if g = 0 then 0.0 else Array.unsafe_get x (g - 1) in
+    let vd = if d = 0 then 0.0 else Array.unsafe_get x (d - 1) in
+    Array.unsafe_set vgs k (vg -. vs);
+    Array.unsafe_set vds k (vd -. vs)
+  done;
+  Mos_model.evaluate_packed ~n:nm ~sign:state.pm_sign ~vth:state.pm_vth
+    ~beta:state.pm_beta ~lambda:state.pm_lambda ~vgs ~vds ~id:state.rcur_id
+    ~gm:state.rcur_gm ~gds:state.rcur_gds
 
 let refactor state =
   let n = state.rn in
@@ -550,35 +626,64 @@ let ensure_factor state =
    nonlinear solution full Newton converges to, independent of how stale
    the factorization is. *)
 let build_rhs_reuse state ~mode ~alpha ~t x =
+  ignore x;
   let rhs = state.rrhs in
   Array.fill rhs 0 state.rn 0.0;
-  let mk = ref 0 in
-  List.iter
-    (function
-      | CResistor _ -> ()
-      | CCapacitor (n1, n2, c) ->
-        (match mode with
-        | Dc_mode -> ()
-        | Transient_mode { h; x_prev } ->
-          let geq = c /. h in
-          let v_prev = v_of x_prev n1 -. v_of x_prev n2 in
-          stamp_current rhs (geq *. v_prev) ~into:n1 ~out_of:n2)
-      | CVsource { wave; branch; _ } -> rhs.(branch) <- alpha *. Waveform.value wave t
-      | CIsource { pos; neg; wave } ->
-        stamp_current rhs (alpha *. Waveform.value wave t) ~into:pos ~out_of:neg
-      | CMosfet _ ->
-        let k = !mk in
-        incr mk;
-        let m = state.rmos.(k) in
-        let vgs = v_of x m.mg -. v_of x m.ms in
-        let vds = v_of x m.md -. v_of x m.ms in
-        let ieq =
-          state.rcur_id.(k)
-          -. (state.rref_gm.(k) *. vgs)
-          -. (state.rref_gds.(k) *. vds)
-        in
-        stamp_current rhs ieq ~into:m.ms ~out_of:m.md)
-    state.rcompiled.cdevices
+  (* The plan groups stamps by device class (each class in netlist
+     order); accumulation into a shared node may therefore round
+     differently from the dense path's interleaved order, in the same
+     ulp-level sense in which the chord iteration already differs — the
+     converged solution is unchanged and classified tables stay
+     byte-identical across backends (enforced by CI's dense-vs-auto
+     diff). *)
+  (match mode with
+  | Dc_mode -> ()
+  | Transient_mode { h; x_prev } ->
+    let nc = Array.length state.pc_c in
+    for k = 0 to nc - 1 do
+      let n1 = Array.unsafe_get state.pc_n1 k in
+      let n2 = Array.unsafe_get state.pc_n2 k in
+      let geq = Array.unsafe_get state.pc_c k /. h in
+      let v1 = if n1 = 0 then 0.0 else Array.unsafe_get x_prev (n1 - 1) in
+      let v2 = if n2 = 0 then 0.0 else Array.unsafe_get x_prev (n2 - 1) in
+      let i = geq *. (v1 -. v2) in
+      if n1 <> 0 then
+        Array.unsafe_set rhs (n1 - 1) (Array.unsafe_get rhs (n1 - 1) +. i);
+      if n2 <> 0 then
+        Array.unsafe_set rhs (n2 - 1) (Array.unsafe_get rhs (n2 - 1) -. i)
+    done);
+  let nv = Array.length state.pv_branch in
+  for k = 0 to nv - 1 do
+    Array.unsafe_set rhs
+      (Array.unsafe_get state.pv_branch k)
+      (alpha *. Waveform.value (Array.unsafe_get state.pv_wave k) t)
+  done;
+  let ni = Array.length state.pi_pos in
+  for k = 0 to ni - 1 do
+    let pos = Array.unsafe_get state.pi_pos k in
+    let neg = Array.unsafe_get state.pi_neg k in
+    let i = alpha *. Waveform.value (Array.unsafe_get state.pi_wave k) t in
+    if pos <> 0 then
+      Array.unsafe_set rhs (pos - 1) (Array.unsafe_get rhs (pos - 1) +. i);
+    if neg <> 0 then
+      Array.unsafe_set rhs (neg - 1) (Array.unsafe_get rhs (neg - 1) -. i)
+  done;
+  (* MOSFET ieq against the gm/gds baked into the factorization; the bias
+     scratch still holds this guess's vgs/vds from [eval_mosfets]. *)
+  let nm = Array.length state.rmos in
+  for k = 0 to nm - 1 do
+    let d = Array.unsafe_get state.pm_d k in
+    let s = Array.unsafe_get state.pm_s k in
+    let ieq =
+      Array.unsafe_get state.rcur_id k
+      -. (Array.unsafe_get state.rref_gm k *. Array.unsafe_get state.pm_vgs k)
+      -. (Array.unsafe_get state.rref_gds k *. Array.unsafe_get state.pm_vds k)
+    in
+    if s <> 0 then
+      Array.unsafe_set rhs (s - 1) (Array.unsafe_get rhs (s - 1) +. ieq);
+    if d <> 0 then
+      Array.unsafe_set rhs (d - 1) (Array.unsafe_get rhs (d - 1) -. ieq)
+  done
 
 (* --- Newton-Raphson --------------------------------------------------- *)
 
@@ -746,6 +851,290 @@ let solve_point_diag ~backend ~options ~mode ~t compiled x0 ~what =
 let solve_point ~backend ~options ~mode ~t compiled x0 ~what =
   fst (solve_point_diag ~backend ~options ~mode ~t compiled x0 ~what)
 
+(* --- cross-class shared nominal factorization --------------------------- *)
+
+(* Most injected defects only *add* two-terminal R/C stamps between
+   pre-existing nodes (bridges, pinholes, junction leaks, DS shorts and
+   their derived near-misses): the faulty MNA matrix is the nominal
+   matrix plus a rank-≤2 symmetric perturbation, and the faulty circuit's
+   operating point is usually a small excursion from the nominal one.
+   [Macro.Evaluate] installs a [shared_nominal] context around each fault
+   class; the analyses then seed their first DC solve by
+
+   - stripping the injected stamps (recognized by the context's [strip]
+     predicate) from the faulty netlist to recover its nominal skeleton,
+   - deriving — once per worker domain, cached by (skeleton fingerprint,
+     options) — the skeleton's DC operating point and the exact LU
+     factorization of its Jacobian at that point,
+   - chaining the injected conductance stamps onto that factorization as
+     Sherman–Morrison rank-1 updates (g·(e_a−e_b)(e_a−e_b)ᵀ each), and
+   - warm-starting Newton from the nominal operating point.
+
+   Soundness: the seeded factorization equals the faulty linear part plus
+   MOSFET stamps at the recorded reference linearization exactly, so the
+   chord-iteration argument at [build_rhs_reuse] applies unchanged — the
+   converged solution is the faulty circuit's own, independent of the
+   seed. A cache hit and a fresh derivation produce the same entry (the
+   derivation is a pure function of skeleton and options), so results are
+   byte-identical at any [--jobs]; the derivation itself runs
+   [Util.Telemetry.silenced] (its occurrence count is per-worker, not
+   per-input) and [Util.Watchdog.unmetered] (its cost must not charge
+   whichever class happens to run first on the worker).
+
+   Fallbacks are counted and harmless: a defect that is not a pure R/C
+   addition ([Node_split] changes the incidence structure,
+   [Parasitic_mos] adds a nonlinear device), a skeleton whose nominal
+   solve fails, or an update denominator tripping the singularity guard
+   all land on the ordinary fresh-factor path. *)
+
+type shared_nominal = { sn_id : int; sn_strip : string -> bool }
+
+let sn_next_id = Atomic.make 0
+
+let shared_nominal ~strip () =
+  { sn_id = Atomic.fetch_and_add sn_next_id 1; sn_strip = strip }
+
+let sn_override : shared_nominal option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_shared_nominal sn f =
+  let saved = Domain.DLS.get sn_override in
+  Domain.DLS.set sn_override (Some sn);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set sn_override saved) f
+
+type sn_entry = {
+  e_n : int;                    (* unknowns of the skeleton *)
+  e_nmos : int;
+  e_x : float array;            (* converged nominal operating point *)
+  e_factor : Linear.Factor.t;   (* exact Jacobian factorization at e_x *)
+  e_ref_gm : float array;       (* linearizations baked into e_factor *)
+  e_ref_gds : float array;
+}
+
+(* Per-domain derived-entry cache. Entries are immutable and the factor
+   type is persistent, so chaining fault stamps onto a cached factor
+   never mutates it. [None] caches a failed derivation (skeleton did not
+   converge) so it is not retried for every class. *)
+let sn_cache : (int * (string, sn_entry option) Hashtbl.t) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let sn_cache_for sn =
+  match Domain.DLS.get sn_cache with
+  | Some (id, tbl) when id = sn.sn_id -> tbl
+  | Some _ | None ->
+    let tbl = Hashtbl.create 8 in
+    Domain.DLS.set sn_cache (Some (sn.sn_id, tbl));
+    tbl
+
+(* Bound the per-worker cache: a measure procedure with an unbounded
+   family of source mutations must not pin one factorization per value.
+   Reset is deterministic per worker and never affects results — only
+   how often the derivation re-runs. *)
+let sn_cache_limit = 32
+
+let fingerprint_wave b w =
+  match Waveform.view w with
+  | Waveform.View_dc v -> Buffer.add_string b (Printf.sprintf "D%h" v)
+  | Waveform.View_pwl pts ->
+    Buffer.add_char b 'W';
+    List.iter
+      (fun (t, v) -> Buffer.add_string b (Printf.sprintf "%h:%h;" t v))
+      pts
+  | Waveform.View_pulse { v0; v1; delay; rise; fall; width; period } ->
+    Buffer.add_string b
+      (Printf.sprintf "P%h,%h,%h,%h,%h,%h,%h" v0 v1 delay rise fall width
+         period)
+
+(* Value-level fingerprint of a netlist: device names, kinds, parameters
+   and pin indices. Used only as a cache key for derived nominal entries
+   — a collision could at worst seed with a different skeleton's
+   factorization, which still converges to the correct solution (the
+   seed is a preconditioner, see the soundness note above). *)
+let fingerprint_netlist netlist =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (dv : Netlist.device_view) ->
+      Buffer.add_string b dv.dev_name;
+      Buffer.add_char b '=';
+      (match dv.kind with
+      | Netlist.Resistor r -> Buffer.add_string b (Printf.sprintf "R%h" r)
+      | Netlist.Capacitor c -> Buffer.add_string b (Printf.sprintf "C%h" c)
+      | Netlist.Vsource w ->
+        Buffer.add_char b 'V';
+        fingerprint_wave b w
+      | Netlist.Isource w ->
+        Buffer.add_char b 'I';
+        fingerprint_wave b w
+      | Netlist.Mosfet spec ->
+        Buffer.add_string b
+          (Printf.sprintf "M%c%h,%h,%h,%h,%h"
+             (match spec.Netlist.polarity with
+             | Mos_model.Nmos -> 'n'
+             | Mos_model.Pmos -> 'p')
+             spec.Netlist.params.Mos_model.vth
+             spec.Netlist.params.Mos_model.kp
+             spec.Netlist.params.Mos_model.lambda spec.Netlist.w
+             spec.Netlist.l));
+      List.iter
+        (fun (role, node) ->
+          Buffer.add_string b
+            (Printf.sprintf "@%s:%d" role (Netlist.index_of_node node)))
+        dv.pin_nodes;
+      Buffer.add_char b '|')
+    (Netlist.devices netlist);
+  Buffer.contents b
+
+let fingerprint_options (o : options) =
+  Printf.sprintf "%h/%h/%h/%h/%d/%h" o.gmin o.abstol o.vntol o.reltol
+    o.max_iterations o.max_step_voltage
+
+(* Derive the skeleton's entry: solve its DC operating point, then
+   factor the Jacobian exactly at the converged point under the target
+   (gmin, h=0). Quiet and unmetered — see the section comment. *)
+let sn_derive ~options stripped =
+  Util.Telemetry.silenced @@ fun () ->
+  Util.Watchdog.unmetered @@ fun () ->
+  let compiled = compile stripped in
+  let state = make_rstate ?permute:(auto_permutation compiled) compiled in
+  let backend = Reuse_backend state in
+  match
+    solve_point ~backend ~options ~mode:Dc_mode ~t:0.0 compiled
+      (Array.make compiled.n_unknowns 0.0)
+      ~what:"shared nominal derivation"
+  with
+  | exception No_convergence _ -> None
+  | exception Linear.Singular -> None
+  | x ->
+    if
+      not
+        (state.rconst_ok
+        && state.rconst_gmin = options.gmin
+        && state.rconst_h = 0.0)
+    then rebuild_const state ~gmin:options.gmin ~h:0.0;
+    eval_mosfets state x;
+    if refactor state then
+      Some
+        {
+          e_n = compiled.n_unknowns;
+          e_nmos = Array.length state.rmos;
+          e_x = x;
+          e_factor = (match state.rfactor with Some f -> f | None -> assert false);
+          e_ref_gm = Array.copy state.rref_gm;
+          e_ref_gds = Array.copy state.rref_gds;
+        }
+    else None
+
+let sn_entry sn ~options ~stamps netlist =
+  let stripped = Netlist.copy netlist in
+  List.iter
+    (fun (dv : Netlist.device_view) -> Netlist.remove_device stripped dv.dev_name)
+    stamps;
+  let key = fingerprint_netlist stripped ^ "#" ^ fingerprint_options options in
+  let cache = sn_cache_for sn in
+  match Hashtbl.find_opt cache key with
+  | Some entry -> entry
+  | None ->
+    if Hashtbl.length cache >= sn_cache_limit then Hashtbl.reset cache;
+    let entry = sn_derive ~options stripped in
+    Hashtbl.add cache key entry;
+    entry
+
+(* Attempt to seed the analysis's first DC solve from the shared nominal
+   context. The warm start is part of the *analysis semantics*: every
+   backend — dense included — starts Newton from the same derived
+   nominal operating point (the derivation is solver-independent, so the
+   vector is bitwise identical across backends and the cross-backend
+   table-identity contract is preserved; a reuse-only warm start would
+   let the seeded path resolve classes the dense reference cannot, and
+   the tables would diverge). Factor seeding on top of that is a
+   reuse-backend acceleration only. Every decision here is a pure
+   function of (netlist, options), so hit/miss/fallback counters are
+   deterministic per fault class. *)
+let try_shared_seed ~netlist ~options compiled backend =
+  match Domain.DLS.get sn_override with
+  | None -> None
+  | Some sn ->
+    let stamps =
+      List.filter
+        (fun (dv : Netlist.device_view) -> sn.sn_strip dv.dev_name)
+        (Netlist.devices netlist)
+    in
+    let expressible =
+      stamps <> []
+      && List.for_all
+           (fun (dv : Netlist.device_view) ->
+             match dv.kind with
+             | Netlist.Resistor _ | Netlist.Capacitor _ -> true
+             | Netlist.Vsource _ | Netlist.Isource _ | Netlist.Mosfet _ ->
+               false)
+           stamps
+    in
+    if not expressible then begin
+      Util.Telemetry.count "engine.shared_nominal_misses";
+      None
+    end
+    else begin
+      match sn_entry sn ~options ~stamps netlist with
+      | None ->
+        Util.Telemetry.count "engine.shared_nominal_misses";
+        None
+      | Some entry
+        when entry.e_n <> compiled.n_unknowns
+             || entry.e_nmos
+                <> List.fold_left
+                     (fun acc d ->
+                       match d with CMosfet _ -> acc + 1 | _ -> acc)
+                     0 compiled.cdevices ->
+        (* Same strip predicate but a different structure: stale or
+           colliding context entry. The check is against the compiled
+           netlist (not backend state) so every backend makes the
+           identical cold-start decision. *)
+        Util.Telemetry.count "engine.shared_nominal_misses";
+        None
+      | Some entry ->
+        let warm () =
+          Util.Telemetry.count "engine.shared_nominal_hits";
+          Some (Array.copy entry.e_x)
+        in
+        (match backend with
+        | Dense_backend -> warm ()
+        | Reuse_backend state ->
+          let conductance (dv : Netlist.device_view) =
+            match dv.kind with
+            | Netlist.Resistor r -> 1.0 /. r
+            | Netlist.Capacitor _ -> 0.0 (* open in DC *)
+            | Netlist.Vsource _ | Netlist.Isource _ | Netlist.Mosfet _ -> 0.0
+          in
+          let pin (dv : Netlist.device_view) role =
+            Netlist.index_of_node (List.assoc role dv.pin_nodes)
+          in
+          let rec chain f = function
+            | [] -> Some f
+            | dv :: rest ->
+              let g = conductance dv in
+              if g = 0.0 then chain f rest
+              else begin
+                let u = inc_vector state.rn (pin dv "+") (pin dv "-") in
+                match Linear.Factor.rank1_update f ~c:g ~u ~v:u with
+                | None -> None
+                | Some f -> chain f rest
+              end
+          in
+          (match chain entry.e_factor stamps with
+          | None ->
+            (* The stamp chain tripped the singularity guard: keep the
+               warm start (it is backend-independent), drop only the
+               factor seed — the first iteration re-factors fresh. *)
+            Util.Telemetry.count "engine.shared_nominal_fallbacks";
+            warm ()
+          | Some f ->
+            rebuild_const state ~gmin:options.gmin ~h:0.0;
+            state.rfactor <- Some f;
+            Array.blit entry.e_ref_gm 0 state.rref_gm 0 entry.e_nmos;
+            Array.blit entry.e_ref_gds 0 state.rref_gds 0 entry.e_nmos;
+            warm ()))
+    end
+
 (* --- public analyses --------------------------------------------------- *)
 
 let make_solution compiled ~t x =
@@ -755,7 +1144,11 @@ let dc_operating_point_diag ?options netlist =
   let options = resolve_options options in
   let compiled = compile netlist in
   let backend = make_backend compiled in
-  let x0 = Array.make compiled.n_unknowns 0.0 in
+  let x0 =
+    match try_shared_seed ~netlist ~options compiled backend with
+    | Some warm -> warm
+    | None -> Array.make compiled.n_unknowns 0.0
+  in
   let x, diag =
     solve_point_diag ~backend ~options ~mode:Dc_mode ~t:0.0 compiled x0
       ~what:"dc operating point"
@@ -764,6 +1157,20 @@ let dc_operating_point_diag ?options netlist =
 
 let dc_operating_point ?options netlist =
   fst (dc_operating_point_diag ?options netlist)
+
+(* Diagnostic: the dense DC MNA matrix linearized at [x]. Exposed so
+   tests can check structural invariants (e.g. that a stamp-expressible
+   fault perturbs the nominal matrix by rank ≤ 2); not a hot path. *)
+let dense_jacobian ?options netlist ~x =
+  let options = resolve_options options in
+  let compiled = compile netlist in
+  let n = compiled.n_unknowns in
+  if Array.length x <> n then
+    invalid_arg "Engine.dense_jacobian: x has the wrong length";
+  let a = Linear.matrix n in
+  let rhs = Array.make n 0.0 in
+  build ~options ~mode:Dc_mode ~alpha:1.0 ~t:0.0 compiled x a rhs;
+  a
 
 let transient_diag ?options netlist ~stop ~step =
   if step <= 0. || stop < step then invalid_arg "Engine.transient: bad time grid";
@@ -780,7 +1187,11 @@ let transient_diag ?options netlist ~stop ~step =
     diag := merge_diagnostics !diag d;
     x'
   in
-  let x0 = Array.make compiled.n_unknowns 0.0 in
+  let x0 =
+    match try_shared_seed ~netlist ~options compiled backend with
+    | Some warm -> warm
+    | None -> Array.make compiled.n_unknowns 0.0
+  in
   let x_dc = solve ~mode:Dc_mode ~t:0.0 x0 ~what:"transient initial point" in
   let n_steps = int_of_float (Float.round (stop /. step)) in
   (* A failed Newton solve at a full step (sharp clock edge, regenerative

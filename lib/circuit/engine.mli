@@ -104,6 +104,61 @@ val with_solver : solver -> (unit -> 'a) -> 'a
 val current_solver : unit -> solver
 (** The solver in effect: innermost {!with_solver}, else {!default_solver}. *)
 
+(** {1 Cross-class shared nominal factorization}
+
+    Most injected defects only {e add} two-terminal R/C stamps between
+    pre-existing nodes, so the faulty MNA matrix is the nominal matrix
+    plus a rank-≤2 symmetric perturbation and the faulty operating point
+    is usually a small excursion from the nominal one. When a
+    [shared_nominal] context is installed, {!dc_operating_point} and
+    {!transient} seed their first DC solve by stripping the injected
+    stamps (per the context's [strip] predicate) to recover the nominal
+    skeleton and deriving that skeleton's operating point and exact
+    Jacobian factorization — once per worker domain, cached by
+    (skeleton, options).
+
+    The warm start is part of the analysis semantics: {e every} backend,
+    dense included, starts Newton from the derived nominal operating
+    point (the derivation is solver-independent, so the vector is
+    bitwise identical across backends — a reuse-only warm start would
+    let the seeded path resolve marginal classes the dense reference
+    cannot, and the cross-backend table-identity contract would break).
+    On top of that, reuse backends ([Rank1]/[Auto]) also chain the
+    injected conductances onto the cached factorization as rank-1
+    updates, so their first solve skips the fresh factor entirely.
+
+    The seed is only ever a preconditioner: the chord iteration converges
+    to the faulty circuit's own solution regardless, and every
+    seed/fallback decision is a pure function of (netlist, options), so
+    the determinism contract is unchanged. Faults that are not pure R/C
+    additions (node splits, parasitic devices) and skeletons whose
+    nominal solve fails fall back to the ordinary cold-start path on all
+    backends alike; an update-guard trip drops only the factor seed and
+    keeps the warm start.
+
+    Telemetry: [engine.shared_nominal_hits] (first solve warm-started),
+    [engine.shared_nominal_misses] (context installed but the defect was
+    not stamp-expressible, or no usable skeleton entry),
+    [engine.shared_nominal_fallbacks] (stamp chaining tripped the
+    singularity guard; counted alongside the hit). All three are
+    per-class deterministic; the per-worker derivation itself is
+    telemetry-silenced and watchdog-unmetered so counter totals and
+    iteration-budget outcomes stay byte-identical at any [--jobs]. *)
+
+type shared_nominal
+
+(** [shared_nominal ~strip ()] — a context whose [strip] predicate
+    recognizes injected-device names (e.g. [Fault.Inject.is_fault_device]).
+    Create once per run; the derived-factorization cache is per worker
+    domain and keyed to the context identity. *)
+val shared_nominal : strip:(string -> bool) -> unit -> shared_nominal
+
+(** [with_shared_nominal sn f] installs the context for the dynamic
+    extent of [f] on the calling domain (nests, exception-safe). As with
+    {!with_solver}, domain-local state does not propagate into pool
+    workers — install inside each worker task. *)
+val with_shared_nominal : shared_nominal -> (unit -> 'a) -> 'a
+
 (** {1 Convergence diagnostics} *)
 
 (** Which convergence aid produced the solution. *)
@@ -143,6 +198,15 @@ val dc_operating_point : ?options:options -> Netlist.t -> solution
 (** Like {!dc_operating_point}, also reporting how hard the solve was. *)
 val dc_operating_point_diag :
   ?options:options -> Netlist.t -> solution * diagnostics
+
+(** [dense_jacobian ?options netlist ~x] — the dense DC MNA matrix
+    linearized at guess [x] (length = unknowns: node voltages then
+    branch currents). A diagnostic for tests of structural invariants
+    (e.g. the rank-≤2 fault-perturbation property the shared-nominal
+    path relies on); not a hot path.
+    @raise Invalid_argument when [x] has the wrong length. *)
+val dense_jacobian :
+  ?options:options -> Netlist.t -> x:float array -> float array array
 
 (** [transient ?options netlist ~stop ~step] integrates from 0 to [stop]
     with fixed step [step] (backward Euler), returning the DC point at

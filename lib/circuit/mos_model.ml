@@ -57,6 +57,75 @@ let evaluate ~polarity ~params ~w ~l ~vgs ~vds =
     let mirrored = nmos_symmetric params ~w ~l ~vgs:(-.vgs) ~vds:(-.vds) in
     { id = -.mirrored.id; gm = mirrored.gm; gds = mirrored.gds }
 
+(* Batched evaluation over packed parameter arrays: the same arithmetic
+   as [evaluate], inlined into one loop with per-branch array writes so a
+   Newton iteration over hundreds of devices performs no allocation. The
+   mirror (s = -1 for PMOS) and the drain/source swap reproduce the
+   scalar path's operations exactly — multiplication by ±1.0 is an exact
+   IEEE-754 sign transfer — so results are bit-identical to [evaluate];
+   [test_circuit] locks that equivalence down. *)
+let evaluate_packed ~n ~sign ~vth ~beta ~lambda ~vgs ~vds ~id ~gm ~gds =
+  for k = 0 to n - 1 do
+    let s = Array.unsafe_get sign k in
+    let vth_k = Array.unsafe_get vth k in
+    let beta_k = Array.unsafe_get beta k in
+    let lambda_k = Array.unsafe_get lambda k in
+    let vgs0 = s *. Array.unsafe_get vgs k in
+    let vds0 = s *. Array.unsafe_get vds k in
+    let swap = vds0 < 0. in
+    let vgs1 = if swap then vgs0 -. vds0 else vgs0 in
+    let vds1 = if swap then -.vds0 else vds0 in
+    let vgst = vgs1 -. vth_k in
+    if vgst <= 0. then
+      if swap then begin
+        Array.unsafe_set id k (s *. (-0.));
+        Array.unsafe_set gm k (-0.);
+        Array.unsafe_set gds k 0.
+      end
+      else begin
+        Array.unsafe_set id k (s *. 0.);
+        Array.unsafe_set gm k 0.;
+        Array.unsafe_set gds k 0.
+      end
+    else begin
+      let clm = 1. +. (lambda_k *. vds1) in
+      if vds1 < vgst then begin
+        (* Triode. *)
+        let core = (vgst *. vds1) -. (0.5 *. vds1 *. vds1) in
+        let fid = beta_k *. core *. clm in
+        let fgm = beta_k *. vds1 *. clm in
+        let fgds = beta_k *. (((vgst -. vds1) *. clm) +. (lambda_k *. core)) in
+        if swap then begin
+          Array.unsafe_set id k (s *. -.fid);
+          Array.unsafe_set gm k (-.fgm);
+          Array.unsafe_set gds k (fgm +. fgds)
+        end
+        else begin
+          Array.unsafe_set id k (s *. fid);
+          Array.unsafe_set gm k fgm;
+          Array.unsafe_set gds k fgds
+        end
+      end
+      else begin
+        (* Saturation. *)
+        let core = 0.5 *. vgst *. vgst in
+        let fid = beta_k *. core *. clm in
+        let fgm = beta_k *. vgst *. clm in
+        let fgds = beta_k *. lambda_k *. core in
+        if swap then begin
+          Array.unsafe_set id k (s *. -.fid);
+          Array.unsafe_set gm k (-.fgm);
+          Array.unsafe_set gds k (fgm +. fgds)
+        end
+        else begin
+          Array.unsafe_set id k (s *. fid);
+          Array.unsafe_set gm k fgm;
+          Array.unsafe_set gds k fgds
+        end
+      end
+    end
+  done
+
 type region = Cutoff | Triode | Saturation
 
 let region ~polarity ~params ~vgs ~vds =

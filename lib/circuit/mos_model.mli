@@ -38,6 +38,29 @@ val evaluate :
   polarity:polarity -> params:params -> w:float -> l:float ->
   vgs:float -> vds:float -> operating_point
 
+(** [evaluate_packed ~n ~sign ~vth ~beta ~lambda ~vgs ~vds ~id ~gm ~gds]
+    evaluates devices [0 .. n-1] from packed parameter arrays in one
+    allocation-free loop, writing results into [id]/[gm]/[gds]. This is
+    the kernel behind the engine's compiled stamp plans: parameters are
+    packed once at netlist-compile time, then every Newton iteration is a
+    single tight pass.
+
+    Packing convention: [sign] is [+1.0] for NMOS and [-1.0] for PMOS;
+    [beta] is the precomputed [kp *. w /. l] (same expression, so the
+    float is identical); [vth]/[lambda] come straight from {!params}.
+    [vgs]/[vds] use the same reported-terminal convention as {!evaluate}.
+
+    Results are bit-identical to calling {!evaluate} per device — the
+    mirror and drain/source swap are exact IEEE-754 sign transfers — so
+    the dense reference backend and the plan-based backends print
+    byte-identical tables. All arrays must have length at least [n]. *)
+val evaluate_packed :
+  n:int ->
+  sign:float array -> vth:float array -> beta:float array ->
+  lambda:float array ->
+  vgs:float array -> vds:float array ->
+  id:float array -> gm:float array -> gds:float array -> unit
+
 (** Region report for tests and debugging. *)
 type region = Cutoff | Triode | Saturation
 

@@ -5,8 +5,11 @@ type 'a decoder = J.t -> ('a, string) result
 (* Bump whenever simulation semantics or any encoding below changes:
    every previously written cache entry then reads as stale.
    2: checkpoint partial-outcome payloads; cache stats gained
-      write_errors; deadline limits folded into cache keys. *)
-let version = "dotest-codec/2"
+      write_errors; deadline limits folded into cache keys.
+   3: shared-nominal warm start — analyses under an installed context
+      start Newton from the derived nominal operating point (all
+      backends), which changes which marginal classes resolve. *)
+let version = "dotest-codec/3"
 
 (* --- decoder plumbing --------------------------------------------------- *)
 

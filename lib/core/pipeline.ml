@@ -15,6 +15,7 @@ module Config = struct
     deadline : Util.Watchdog.limits option;
     checkpoint : Checkpoint.t option;
     solver : Circuit.Engine.solver;
+    sprinkle_chunk : int;
   }
 
   let default =
@@ -34,6 +35,7 @@ module Config = struct
       deadline = None;
       checkpoint = None;
       solver = Circuit.Engine.default_solver;
+      sprinkle_chunk = Defect.Simulate.default_chunk_size;
     }
 
   let with_tech tech config = { config with tech }
@@ -62,6 +64,7 @@ module Config = struct
   let with_deadline deadline config = { config with deadline }
   let with_checkpoint checkpoint config = { config with checkpoint }
   let with_solver solver config = { config with solver }
+  let with_sprinkle_chunk sprinkle_chunk config = { config with sprinkle_chunk }
 end
 
 open Config
@@ -172,6 +175,9 @@ let cache_key config (macro : Macro.Macro_cell.t) ~nominal_netlist ~cell =
       "tech=" ^ Codec.tech_fingerprint config.tech;
       "stats=" ^ Codec.stats_fingerprint config.stats;
       Printf.sprintf "defects=%d" config.defects;
+      (* The chunk size re-partitions draws over split PRNG streams, so
+         it selects a different (equally valid) defect sample. *)
+      Printf.sprintf "sprinkle_chunk=%d" config.sprinkle_chunk;
       Printf.sprintf "good_space_dies=%d" config.good_space_dies;
       Printf.sprintf "sigma=%h" config.sigma;
       Printf.sprintf "seed=%d" config.seed;
@@ -306,8 +312,9 @@ let analyze config (macro : Macro.Macro_cell.t) =
   Log.info (fun m -> m "[%s] sprinkling %d defects" macro.Macro.Macro_cell.name config.defects);
   let defect_result =
     timed "sprinkle" (fun () ->
-        Defect.Simulate.run ~tech:config.tech ~stats:config.stats ~cell
-          ~netlist:nominal_netlist defect_prng ~n:config.defects)
+        Defect.Simulate.run ~chunk_size:config.sprinkle_chunk ~tech:config.tech
+          ~stats:config.stats ~cell ~netlist:nominal_netlist defect_prng
+          ~n:config.defects)
   in
   let classes_catastrophic, classes_non_catastrophic =
     timed "collapse" (fun () ->

@@ -64,6 +64,15 @@ module Config : sig
             {!Circuit.Engine.default_solver} = [Auto]). All backends must
             produce identical tables; [Dense] is the reference path for
             bisecting solver regressions. Part of the cache key. *)
+    sprinkle_chunk : int;
+        (** defect draws per sprinkle chunk (default
+            {!Defect.Simulate.default_chunk_size}). Each chunk consumes
+            its own split PRNG stream, so results stay bit-identical for
+            any job count at a {e given} chunk size — but the size is
+            part of the stream assignment (and therefore of the cache
+            key): a different value selects a different, equally valid
+            defect sample. Large-N runs raise it to amortize pool
+            dispatch overhead. *)
   }
 
   val default : t
@@ -99,6 +108,7 @@ module Config : sig
   val with_checkpoint : Checkpoint.t option -> t -> t
 
   val with_solver : Circuit.Engine.solver -> t -> t
+  val with_sprinkle_chunk : int -> t -> t
 end
 
 (** Containment counters for one macro, plus stage wall-clock times.

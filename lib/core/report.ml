@@ -247,7 +247,7 @@ let summary (g : Global.t) =
     ];
   t
 
-let metrics (m : Util.Telemetry.Metrics.t) =
+let metrics ?elapsed (m : Util.Telemetry.Metrics.t) =
   let t =
     Util.Table.create
       ~columns:[ "counter", Util.Table.Left; "total", Util.Table.Right ]
@@ -255,6 +255,43 @@ let metrics (m : Util.Telemetry.Metrics.t) =
   List.iter
     (fun (name, total) -> Util.Table.add_row t [ name; string_of_int total ])
     m.Util.Telemetry.Metrics.counters;
+  (* Derived throughput: the iteration ratio is a pure function of the
+     counters (deterministic, like them); the per-second rates divide by
+     caller-supplied wall-clock time and are marked as such — they vary
+     run to run and are excluded from byte-identity comparisons. *)
+  let counter name = List.assoc_opt name m.Util.Telemetry.Metrics.counters in
+  let classes = Option.value ~default:0 (counter "classes_simulated") in
+  let derived =
+    (if classes > 0 then
+       match counter "newton_iterations" with
+       | Some iters ->
+         [
+           ( "newton_iterations_per_class",
+             Util.Table.cell_float ~decimals:1
+               (float_of_int iters /. float_of_int classes) );
+         ]
+       | None -> []
+     else [])
+    @
+    match elapsed with
+    | Some seconds when seconds > 0.0 ->
+      List.filter_map
+        (fun (label, name) ->
+          match counter name with
+          | Some total when total > 0 ->
+            Some
+              ( label ^ " (wall)",
+                Util.Table.cell_float ~decimals:1
+                  (float_of_int total /. seconds) )
+          | Some _ | None -> None)
+        [ "classes_per_s", "classes_simulated"; "solves_per_s", "engine.solves" ]
+    | Some _ | None -> []
+  in
+  (match derived with
+  | [] -> ()
+  | rows ->
+    Util.Table.add_separator t;
+    List.iter (fun (name, value) -> Util.Table.add_row t [ name; value ]) rows);
   (match m.Util.Telemetry.Metrics.gauges with
   | [] -> ()
   | gauges ->

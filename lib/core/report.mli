@@ -37,10 +37,15 @@ val run_health : Pipeline.run_health -> Util.Table.t
     {!Global.coverage_bounds}). On a clean run all three columns agree. *)
 val coverage_bounds : Global.t -> Util.Table.t
 
-(** Aggregated telemetry: one row per counter total, then the gauge
-    high-water marks. Counter totals are deterministic across job counts;
-    durations never appear here. *)
-val metrics : Util.Telemetry.Metrics.t -> Util.Table.t
+(** Aggregated telemetry: one row per counter total, then derived
+    throughput, then the gauge high-water marks. Counter totals — and the
+    [newton_iterations_per_class] ratio derived purely from them — are
+    deterministic across job counts. With [?elapsed] (an analysis
+    wall-clock duration in seconds) the table additionally reports
+    [classes_per_s]/[solves_per_s] rates; those rows are explicitly
+    marked "(wall)" because they vary run to run and are excluded from
+    any byte-identity contract. *)
+val metrics : ?elapsed:float -> Util.Telemetry.Metrics.t -> Util.Table.t
 
 (** [cache_state stats] — [`Warm] when at least one lookup hit. *)
 val cache_state : Util.Cache.stats -> [ `Cold | `Warm ]

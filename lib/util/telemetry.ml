@@ -124,8 +124,20 @@ let add_span_attrs attrs =
     | (_, span_attrs) :: _ -> span_attrs := !span_attrs @ attrs
     | [] -> ()
 
+(* Per-domain mute flag: counters and gauges recorded inside a
+   [silenced] extent are dropped. Work whose *occurrence count* depends
+   on scheduling (e.g. the per-worker shared-nominal derivations in
+   [Circuit.Engine]) runs under it so counter totals stay byte-identical
+   for any [--jobs] value. *)
+let muted : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let silenced f =
+  let saved = Domain.DLS.get muted in
+  Domain.DLS.set muted true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set muted saved) f
+
 let count ?(by = 1) name =
-  if enabled () then begin
+  if enabled () && not (Domain.DLS.get muted) then begin
     let table = Domain.DLS.get counter_table in
     match Hashtbl.find_opt table name with
     | Some current -> Hashtbl.replace table name (current + by)
@@ -133,9 +145,11 @@ let count ?(by = 1) name =
   end
 
 let gauge name value =
-  let s = Atomic.get ambient in
-  if not (is_null s) then
-    s.emit (Gauge { name; value; span = current_span () })
+  if not (Domain.DLS.get muted) then begin
+    let s = Atomic.get ambient in
+    if not (is_null s) then
+      s.emit (Gauge { name; value; span = current_span () })
+  end
 
 let in_span parent f =
   if not (enabled ()) then f ()

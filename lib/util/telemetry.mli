@@ -153,6 +153,13 @@ val count : ?by:int -> string -> unit
 (** [gauge name v] reports [v]; in-memory aggregation keeps the maximum. *)
 val gauge : string -> float -> unit
 
+(** [silenced f] runs [f] with {!count} and {!gauge} muted on the calling
+    domain (spans still open and close). For work whose occurrence count
+    depends on scheduling rather than on the inputs — e.g. the per-worker
+    shared-nominal derivations in [Circuit.Engine] — so that counter
+    totals remain byte-identical for any [--jobs] value. *)
+val silenced : (unit -> 'a) -> 'a
+
 (** {1 Worker-domain plumbing (used by {!Pool})} *)
 
 (** [current_span ()] — the innermost open span of the calling domain. *)

@@ -88,6 +88,13 @@ let with_limits limits f =
 
 let armed () = Domain.DLS.get state <> None
 
+let unmetered f =
+  match Domain.DLS.get state with
+  | None -> f ()
+  | Some _ as saved ->
+    Domain.DLS.set state None;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set state saved) f
+
 (* --- cooperative shutdown ---------------------------------------------- *)
 
 exception Interrupted of string

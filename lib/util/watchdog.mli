@@ -71,6 +71,17 @@ val tick : ?by:int -> unit -> unit
 (** [armed ()] — whether the calling domain currently has a deadline. *)
 val armed : unit -> bool
 
+(** [unmetered f] runs [f] with the calling domain's armed deadline
+    masked: {!tick}s inside [f] spend nothing and cannot expire. For
+    amortized per-worker work (e.g. deriving the shared nominal
+    factorization) that would otherwise charge its cost to whichever
+    fault class happened to run first on the worker — under an
+    iteration budget that would make outcomes depend on scheduling and
+    break the byte-identity contract. The wall clock keeps running:
+    elapsed time inside [f] still counts against a wall-clock budget
+    once restored (wall deadlines are best-effort by design). *)
+val unmetered : (unit -> 'a) -> 'a
+
 (** {1 Cooperative shutdown} *)
 
 (** Raised by {!check_shutdown} (and by {!Pool} combinators) once

@@ -790,6 +790,30 @@ let qcheck_props =
             .Mos_model.id
         in
         at (vgs +. 0.1) >= at vgs);
+    Test.make
+      ~name:"mos: packed evaluation is bit-identical to the scalar model"
+      (triple bool (pair (float_range (-1.0) 5.0) (float_range (-5.0) 5.0))
+         (pair (float_range 0.5 5.0) (float_range 0.5 5.0)))
+      (fun (is_pmos, (vgs, vds), (w_um, l_um)) ->
+        let polarity = if is_pmos then Mos_model.Pmos else Mos_model.Nmos in
+        let params =
+          if is_pmos then Mos_model.default_pmos else Mos_model.default_nmos
+        in
+        let w = w_um *. 1e-6 and l = l_um *. 1e-6 in
+        (* PMOS biases lean negative; mirror the generated values. *)
+        let vgs = if is_pmos then -.vgs else vgs in
+        let vds = if is_pmos then -.vds else vds in
+        let scalar = Mos_model.evaluate ~polarity ~params ~w ~l ~vgs ~vds in
+        let id = [| Float.nan |] and gm = [| Float.nan |] and gds = [| Float.nan |] in
+        Mos_model.evaluate_packed ~n:1
+          ~sign:[| (if is_pmos then -1.0 else 1.0) |]
+          ~vth:[| params.Mos_model.vth |]
+          ~beta:[| params.Mos_model.kp *. w /. l |]
+          ~lambda:[| params.Mos_model.lambda |]
+          ~vgs:[| vgs |] ~vds:[| vds |] ~id ~gm ~gds;
+        scalar.Mos_model.id = id.(0)
+        && scalar.Mos_model.gm = gm.(0)
+        && scalar.Mos_model.gds = gds.(0));
     Test.make ~name:"linear: rank-1 update agrees with from-scratch factor"
       (pair (int_range 2 8) (int_range 0 100_000))
       (fun (n, seed) ->
